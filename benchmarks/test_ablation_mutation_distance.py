@@ -1,0 +1,17 @@
+"""Ablation bench — mutation distance vs transfer value (Figure 5's logic)."""
+
+from conftest import run_once
+
+from repro.experiments import format_ablation_distance, run_ablation_distance
+
+
+def test_ablation_mutation_distance(benchmark, ctx):
+    result = run_once(
+        benchmark, run_ablation_distance, ctx, ("cifar10",), (1, 4)
+    )
+    print("\n" + format_ablation_distance(result))
+    near = result.row("cifar10", 1)
+    far = result.row("cifar10", 4)
+    # Figure 5's premise: more mutations => structurally farther parent
+    # => fewer transferable layers
+    assert near.mean_coverage >= far.mean_coverage

@@ -1,0 +1,16 @@
+"""Ablation bench — exact vs partial-shape transfer coverage and scores."""
+
+from conftest import run_once
+
+from repro.experiments import format_ablation_partial, run_ablation_partial
+
+
+def test_ablation_partial_transfer(benchmark, ctx):
+    result = run_once(
+        benchmark, run_ablation_partial, ctx, ("cifar10", "mnist"), 8
+    )
+    print("\n" + format_ablation_partial(result))
+    for row in result.rows:
+        # partial transfer strictly extends exact transfer's coverage
+        assert row.mean_partial_coverage >= row.mean_exact_coverage - 1e-9
+        assert row.n_children > 0

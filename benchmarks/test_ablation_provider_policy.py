@@ -1,0 +1,24 @@
+"""Ablation bench — provider-selection policies under random search.
+
+The design choice DESIGN.md calls out: the parent-as-provider shortcut
+only exists for evolutionary search; other strategies need an explicit
+selector, and its quality (distance to the receiver) decides whether
+transfer helps at all.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_ablation_policies, run_ablation_policies
+
+
+def test_ablation_provider_policy(benchmark, ctx):
+    result = run_once(benchmark, run_ablation_policies, ctx, ("cifar10", "uno"))
+    print("\n" + format_ablation_policies(result))
+    for app in ("cifar10", "uno"):
+        control = result.row(app, "parent")
+        nearest = result.row(app, "nearest")
+        rnd = result.row(app, "random")
+        # the control never transfers; the explicit policies do
+        assert control.transfer_rate == 0.0
+        assert nearest.transfer_rate > 0.0
+        assert rnd.transfer_rate > 0.0

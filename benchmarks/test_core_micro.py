@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the core primitives (repeated-timing benchmarks).
+
+These are conventional pytest-benchmark measurements (many rounds) of the
+operations on the critical path of one NAS evaluation: LCS/LP matching,
+the weight-transfer copy, checkpoint save/load, one training epoch, and
+candidate materialization. The paper reports the matching+transfer step
+at <= 150 ms on real models; here it is microseconds on the scaled ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.checkpoint import CheckpointStore
+from repro.nas.estimation import estimate_candidate
+from repro.transfer import lcs_match, longest_prefix_match, transfer_weights
+from repro.transfer.shapeseq import shape_sequence
+
+
+@pytest.fixture(scope="module")
+def cifar_problem():
+    return get_app("cifar10").problem(
+        seed=0, n_train=128, n_val=48, height=12, width=12
+    )
+
+
+@pytest.fixture(scope="module")
+def model_pair(cifar_problem):
+    space = cifar_problem.space
+    rng = np.random.default_rng(0)
+    parent_seq = space.sample(rng)
+    child_seq = space.mutate(parent_seq, rng)
+    parent = space.build_network(parent_seq, np.random.default_rng(1))
+    child = space.build_network(child_seq, np.random.default_rng(2))
+    return parent, child
+
+
+def test_lcs_matching_speed(benchmark, model_pair):
+    parent, child = model_pair
+    a, b = shape_sequence(parent), shape_sequence(child)
+    result = benchmark(lcs_match, a, b)
+    assert result.length > 0
+
+
+def test_lp_matching_speed(benchmark, model_pair):
+    parent, child = model_pair
+    a, b = shape_sequence(parent), shape_sequence(child)
+    benchmark(longest_prefix_match, a, b)
+
+
+def test_weight_transfer_speed(benchmark, model_pair):
+    parent, child = model_pair
+    weights = parent.get_weights()
+    stats = benchmark(transfer_weights, child, weights, "lcs")
+    assert stats.receiver_tensors > 0
+
+
+def test_checkpoint_save_speed(benchmark, model_pair, tmp_path):
+    parent, _ = model_pair
+    store = CheckpointStore(tmp_path)
+    weights = parent.get_weights()
+    counter = iter(range(10_000_000))
+
+    def save():
+        return store.save(f"cand_{next(counter)}", weights)
+
+    info = benchmark(save)
+    assert info.nbytes > 0
+
+
+def test_checkpoint_load_speed(benchmark, model_pair, tmp_path):
+    parent, _ = model_pair
+    store = CheckpointStore(tmp_path)
+    store.save("cand", parent.get_weights())
+    loaded = benchmark(store.load, "cand")
+    assert len(loaded) > 0
+
+
+def test_candidate_build_speed(benchmark, cifar_problem):
+    space = cifar_problem.space
+    seq = space.sample(np.random.default_rng(3))
+    net = benchmark(space.build_network, seq, np.random.default_rng(4))
+    assert net.built
+
+
+def test_one_epoch_estimation_speed(benchmark, cifar_problem):
+    seq = cifar_problem.space.sample(np.random.default_rng(5))
+    result = benchmark.pedantic(
+        estimate_candidate,
+        args=(cifar_problem, seq),
+        kwargs={"seed": 0, "keep_weights": False},
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    assert result.ok

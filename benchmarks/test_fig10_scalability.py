@@ -1,0 +1,35 @@
+"""Figure 10 — candidate-estimation scalability on 2/4/8 simulated GPUs."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig10, run_fig10
+
+
+def test_fig10_scalability(benchmark, ctx):
+    result = run_once(benchmark, run_fig10, ctx)
+    print("\n" + format_fig10(result))
+    counts = ctx.config.gpu_counts
+    import numpy as np
+
+    # More GPUs must help on average. Per-cell monotonicity is NOT
+    # guaranteed at smoke scale: each GPU count sees a different async
+    # completion order, hence evaluates different candidates with
+    # different task costs.
+    mean_spans = [
+        np.mean([
+            result.cell(app, scheme, g).makespan
+            for app in ctx.config.apps for scheme in ctx.config.schemes
+        ])
+        for g in counts
+    ]
+    assert all(b <= a + 1e-9 for a, b in zip(mean_spans, mean_spans[1:]))
+    for app in ctx.config.apps:
+        # transfer schemes pay checkpoint overhead; the baseline does not
+        assert result.cell(app, "baseline", counts[0]).overhead == 0.0
+        assert result.cell(app, "lcs", counts[0]).overhead > 0.0
+    # NT3's relative overhead is the largest (its Figure 10/11 signature)
+    rel = {
+        app: result.cell(app, "lcs", counts[-1]).overhead_fraction
+        for app in ctx.config.apps
+    }
+    assert rel["nt3"] == max(rel.values())

@@ -1,0 +1,17 @@
+"""Figure 2 — fraction of candidate pairs with an identically shaped tensor."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig2, run_fig2
+
+
+def test_fig2_shareable_pairs(benchmark, ctx):
+    result = run_once(benchmark, run_fig2, ctx)
+    print("\n" + format_fig2(result))
+    frac = {r.app: r.shareable_fraction for r in result.rows}
+    # paper shape: CIFAR-10 and Uno nearly fully shareable ...
+    assert frac["cifar10"] > 0.8
+    assert frac["uno"] > 0.8
+    # ... MNIST and NT3 markedly lower but non-trivial
+    assert 0.15 < frac["mnist"] < 0.9
+    assert 0.15 < frac["nt3"] < 0.9

@@ -1,0 +1,19 @@
+"""Figure 4 — scope and effectiveness of LP/LCS with random providers."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig4, run_fig4
+
+
+def test_fig4_scope_effectiveness(benchmark, ctx):
+    result = run_once(benchmark, run_fig4, ctx)
+    print("\n" + format_fig4(result))
+    for app in ctx.config.apps:
+        lp = result.row(app, "lp")
+        lcs = result.row(app, "lcs")
+        # Section IV: LCS always transfers at least as much as LP
+        assert lcs.transferable_fraction >= lp.transferable_fraction
+        assert 0.0 <= lp.positive_fraction <= 1.0
+    # random providers are NOT reliably beneficial: at least one (app,
+    # matcher) combination must be net-negative, as in the paper
+    assert any(r.positive_fraction < 0.5 for r in result.rows)

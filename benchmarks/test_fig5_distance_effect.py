@@ -1,0 +1,24 @@
+"""Figure 5 — transfer effectiveness vs architecture distance d."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import format_fig5, run_fig5
+
+
+def test_fig5_distance_effect(benchmark, ctx):
+    result = run_once(benchmark, run_fig5, ctx)
+    print("\n" + format_fig5(result))
+    assert result.cells, "pair study must produce distance buckets"
+    # pooled across apps, small-d pairs must be transferable at least as
+    # often as large-d pairs (the paper's provider-selection criterion)
+    def pooled(pred):
+        cells = [c for c in result.cells if c.matcher == "lcs" and pred(c)]
+        weights = [c.n_pairs for c in cells]
+        vals = [c.transferable_fraction for c in cells]
+        return np.average(vals, weights=weights) if cells else None
+
+    lo = pooled(lambda c: int(c.distance_bucket.split("-")[0]) <= 2)
+    hi = pooled(lambda c: int(c.distance_bucket.split("-")[0]) >= 5)
+    if lo is not None and hi is not None:
+        assert lo >= hi

@@ -1,0 +1,19 @@
+"""Figure 7 — candidate score trajectories during NAS runtime."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import format_fig7, run_fig7
+
+
+def test_fig7_convergence(benchmark, ctx):
+    result = run_once(benchmark, run_fig7, ctx)
+    print("\n" + format_fig7(result))
+    # paper shape: pooled across apps, the transfer schemes' post-warmup
+    # score level is at or above the baseline's
+    gains = []
+    for app in ctx.config.apps:
+        base = result.get(app, "baseline").tail_mean()
+        for scheme in ("lp", "lcs"):
+            gains.append(result.get(app, scheme).tail_mean() - base)
+    assert np.mean(gains) > 0.0

@@ -1,0 +1,17 @@
+"""Figure 8 — full-training speedup of the top-K models."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig8, run_fig8
+
+
+def test_fig8_full_training_speedup(benchmark, ctx):
+    result = run_once(benchmark, run_fig8, ctx)
+    print("\n" + format_fig8(result))
+    assert set(result.speedups) == {"lp", "lcs"}
+    # the transfer schemes must not slow full training down on geomean;
+    # the paper reports 1.4x (LP) and 1.5x (LCS)
+    for scheme, speedup in result.speedups.items():
+        assert speedup > 0.85, f"{scheme} geomean speedup collapsed: {speedup}"
+    for row in result.rows:
+        assert row.mean_epochs >= 3.0  # early stopping needs >= 3 epochs

@@ -1,0 +1,19 @@
+"""Figure 9 — Kendall's tau of candidate estimation vs ground truth."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import format_fig9, run_fig9
+
+
+def test_fig9_kendall_tau(benchmark, ctx):
+    result = run_once(benchmark, run_fig9, ctx)
+    print("\n" + format_fig9(result))
+    for row in result.rows:
+        assert -1.0 <= row.tau <= 1.0
+    # pooled across apps the transfer schemes' estimation should not be
+    # systematically worse than the baseline (the paper reports it is
+    # significantly better at full 400-candidate scale)
+    taus = {s: np.mean([r.tau for r in result.rows if r.scheme == s])
+            for s in ctx.config.schemes}
+    assert taus["lcs"] > taus["baseline"] - 0.35

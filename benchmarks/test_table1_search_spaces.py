@@ -1,0 +1,18 @@
+"""Table I — search-space summary per application."""
+
+from conftest import run_once
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_search_spaces(benchmark, ctx):
+    result = run_once(benchmark, run_table1, ctx.config)
+    print("\n" + format_table1(result))
+    by_app = {r.app: r for r in result.rows}
+    # structural agreement with the paper
+    assert by_app["cifar10"].num_variable_nodes == 21
+    assert by_app["mnist"].num_variable_nodes == 11
+    assert by_app["uno"].num_variable_nodes == 13
+    # size ordering matches Table I: CIFAR > Uno > MNIST > NT3
+    sizes = [by_app[a].size for a in ("cifar10", "uno", "mnist", "nt3")]
+    assert sizes == sorted(sizes, reverse=True)

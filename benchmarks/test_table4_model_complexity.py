@@ -1,0 +1,18 @@
+"""Table IV — parameter counts of the discovered top-K models."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import format_table4, run_table4
+
+
+def test_table4_model_complexity(benchmark, ctx):
+    result = run_once(benchmark, run_table4, ctx)
+    print("\n" + format_table4(result))
+    for row in result.rows:
+        assert 0 < row.min_params <= row.mean_params <= row.max_params
+    # paper shape: transfer does not systematically inflate model size
+    for app in ctx.config.apps:
+        base = result.row(app, "baseline").mean_params
+        for scheme in ("lp", "lcs"):
+            assert result.row(app, scheme).mean_params < 10 * base
