@@ -1,0 +1,71 @@
+"""The four benchmark applications (paper §VII-A) and their datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from . import cifar10, mnist, nt3, uno
+from .datasets import (
+    Dataset,
+    make_image_dataset,
+    make_multisource_dataset,
+    make_profile_dataset,
+)
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One paper application: a problem factory plus its simulated-cluster
+    cost model (calibrated per DESIGN.md "virtual clock, real scores")."""
+
+    name: str
+    description: str
+    _problem: Callable
+    _cost_model: Callable
+
+    def problem(self, seed: int = 0, **overrides):
+        """Build the app's :class:`~repro.nas.Problem` (scaled defaults)."""
+        return self._problem(seed=seed, **overrides)
+
+    def cost_model(self):
+        return self._cost_model()
+
+
+APPS = {
+    "cifar10": AppSpec(
+        "cifar10",
+        "CIFAR-10-like image classification; 21-VN VGG-style space",
+        cifar10.problem, cifar10.cost_model,
+    ),
+    "mnist": AppSpec(
+        "mnist",
+        "MNIST-like digit classification; 11-VN LeNet-ish space",
+        mnist.problem, mnist.cost_model,
+    ),
+    "nt3": AppSpec(
+        "nt3",
+        "NT3-like 1D gene-profile classification; tiny-n/huge-d",
+        nt3.problem, nt3.cost_model,
+    ),
+    "uno": AppSpec(
+        "uno",
+        "Uno-like multi-source drug-response regression; 13-VN space",
+        uno.problem, uno.cost_model,
+    ),
+}
+
+
+def get_app(name: str) -> AppSpec:
+    try:
+        return APPS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {name!r}; available: {sorted(APPS)}") from None
+
+
+__all__ = [
+    "AppSpec", "APPS", "get_app",
+    "Dataset", "make_image_dataset", "make_profile_dataset",
+    "make_multisource_dataset",
+]

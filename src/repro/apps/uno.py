@@ -1,0 +1,75 @@
+"""Uno-like application (paper §VII-A): multi-source drug-response
+regression — three input towers, concatenation, a bottom network, R^2
+objective.  13 variable nodes; the fixed bottleneck before the head makes
+nearly every candidate pair shareable (Fig. 2's ~100% for Uno).
+"""
+
+from __future__ import annotations
+
+from ..cluster.simcluster import CostModel
+from ..nas import (
+    ActivationOp,
+    ConcatenateOp,
+    DenseOp,
+    DropoutOp,
+    IdentityOp,
+    Problem,
+    SearchSpace,
+)
+from .datasets import make_multisource_dataset
+
+DENSE_UNITS = (16, 32, 48, 64, 96, 128, 192)
+LEARNING_RATE = 5e-3
+
+
+def _dense_choices():
+    return [IdentityOp()] + [DenseOp(u, activation="relu")
+                             for u in DENSE_UNITS]
+
+
+def _act_choices():
+    return [IdentityOp(), ActivationOp("relu"), ActivationOp("tanh"),
+            ActivationOp("sigmoid")]
+
+
+def _drop_choices():
+    return [IdentityOp(), DropoutOp(0.1), DropoutOp(0.3)]
+
+
+def build_space(dims=(60, 40, 20)) -> SearchSpace:
+    space = SearchSpace("uno", [(d,) for d in dims])
+    tails = []
+    for i in range(len(dims)):
+        space.add_variable(f"t{i}_dense", _dense_choices(),
+                           after=f"input:{i}")
+        space.add_variable(f"t{i}_act", _act_choices(), after=f"t{i}_dense")
+        tails.append(space.add_variable(f"t{i}_drop", _drop_choices(),
+                                        after=f"t{i}_act"))
+    space.add_fixed(ConcatenateOp(), name="concat", after=tails)
+    space.add_variable("bottom_dense0", _dense_choices(), after="concat")
+    space.add_variable("bottom_act", _act_choices())
+    space.add_variable("bottom_drop", _drop_choices())
+    space.add_variable("bottom_dense1", _dense_choices())
+    space.add_fixed(DenseOp(32, activation="relu"), name="bottleneck")
+    space.add_fixed(DenseOp(1), name="head")
+    return space
+
+
+def problem(seed=0, n_train=256, n_val=96, dims=(60, 40, 20),
+            latent=8, noise=0.3) -> Problem:
+    return Problem(
+        name="uno",
+        space=build_space(dims),
+        dataset=make_multisource_dataset(
+            n_train=n_train, n_val=n_val, dims=dims, latent=latent,
+            noise=noise, seed=seed, name="uno",
+        ),
+        learning_rate=LEARNING_RATE,
+        batch_size=32,
+    )
+
+
+def cost_model() -> CostModel:
+    return CostModel(base_seconds=30.0, seconds_per_param=2e-4,
+                     dispatch_latency=0.5, ckpt_latency=0.05,
+                     write_bandwidth=200e6, read_bandwidth=400e6)

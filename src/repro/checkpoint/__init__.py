@@ -1,0 +1,11 @@
+"""npz checkpoint store + multi-level/async extensions."""
+
+from .multilevel import AsyncCheckpointWriter, MultiLevelStore
+from .store import CheckpointInfo, CheckpointStore
+
+__all__ = [
+    "CheckpointStore",
+    "CheckpointInfo",
+    "AsyncCheckpointWriter",
+    "MultiLevelStore",
+]

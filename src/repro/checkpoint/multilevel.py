@@ -1,0 +1,106 @@
+"""Async write-behind and two-tier checkpointing (VELOC-flavoured, §IX/§X).
+
+- :class:`AsyncCheckpointWriter` — a background thread drains a save
+  queue so checkpoint I/O leaves the training critical path.
+- :class:`MultiLevelStore` — synchronous save to a fast local tier plus
+  asynchronous propagation to a slower "parallel filesystem" tier.
+
+Both are context managers; exiting flushes and stops the worker.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Optional
+
+import numpy as np
+
+from .store import CheckpointInfo, CheckpointStore
+
+
+class AsyncCheckpointWriter:
+    def __init__(self, store: CheckpointStore, max_queue: int = 64):
+        self.store = store
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._errors: list[Exception] = []
+        self._worker = threading.Thread(target=self._drain, daemon=True)
+        self._worker.start()
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            key, weights, meta = item
+            try:
+                self.store.save(key, weights, meta)
+            except Exception as exc:  # surfaced on flush/close
+                self._errors.append(exc)
+            finally:
+                self._queue.task_done()
+
+    def save(self, key: str, weights: dict, meta: dict | None = None) -> None:
+        """Enqueue; snapshots the arrays so later in-place training updates
+        don't race the writer."""
+        snapshot = {name: np.array(arr, copy=True)
+                    for name, arr in weights.items()}
+        self._queue.put((key, snapshot, meta))
+
+    def flush(self) -> None:
+        self._queue.join()
+        if self._errors:
+            raise self._errors[0]
+
+    def close(self) -> None:
+        self.flush()
+        self._queue.put(None)
+        self._worker.join()
+
+    def __enter__(self) -> "AsyncCheckpointWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MultiLevelStore:
+    """Fast local tier (synchronous) + slow PFS tier (write-behind)."""
+
+    def __init__(self, local_root, pfs_root, compress_pfs: bool = False):
+        self.local = CheckpointStore(local_root)
+        self.pfs = CheckpointStore(pfs_root, compress=compress_pfs)
+        self._writer = AsyncCheckpointWriter(self.pfs)
+
+    def save(self, key: str, weights: dict,
+             meta: dict | None = None) -> CheckpointInfo:
+        info = self.local.save(key, weights, meta)
+        self._writer.save(key, weights, meta)
+        return info
+
+    def load(self, key: str) -> dict:
+        """Prefer the fast tier; fall back to the PFS tier."""
+        if self.local.exists(key):
+            return self.local.load(key)
+        return self.pfs.load(key)
+
+    def exists(self, key: str) -> bool:
+        return self.local.exists(key) or self.pfs.exists(key)
+
+    def evict_local(self, key: str) -> None:
+        """Drop the local copy (the PFS copy remains authoritative)."""
+        self.flush()
+        self.local.delete(key)
+
+    def flush(self) -> None:
+        self._writer.flush()
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "MultiLevelStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

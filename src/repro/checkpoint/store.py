@@ -1,0 +1,94 @@
+"""Directory-backed npz checkpoint store (the HDF5/parallel-FS stand-in).
+
+One checkpoint = ``<key>.npz`` holding the ordered named tensors (with an
+``__order__`` index so insertion order survives the round trip) plus an
+optional ``<key>.json`` metadata sidecar.  Sizes are real on-disk bytes —
+they feed Figure 11 and the simulator's I/O cost model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+_ORDER_KEY = "__order__"
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    key: str
+    path: Path
+    nbytes: int
+
+
+class CheckpointStore:
+    def __init__(self, root, compress: bool = False):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.compress = compress
+
+    # -- paths ----------------------------------------------------------
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def meta_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def exists(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def keys(self) -> list[str]:
+        return sorted(p.stem for p in self.root.glob("*.npz"))
+
+    # -- save / load ----------------------------------------------------
+    def save(self, key: str, weights: dict[str, np.ndarray],
+             meta: dict | None = None) -> CheckpointInfo:
+        path = self.path(key)
+        payload = {name: np.asarray(arr) for name, arr in weights.items()}
+        payload[_ORDER_KEY] = np.array(list(weights.keys()), dtype=object)
+        with open(path, "wb") as fh:
+            if self.compress:
+                np.savez_compressed(fh, **payload)
+            else:
+                np.savez(fh, **payload)
+        if meta is not None:
+            self.meta_path(key).write_text(json.dumps(meta))
+        return CheckpointInfo(key, path, path.stat().st_size)
+
+    def load(self, key: str) -> dict[str, np.ndarray]:
+        """Ordered named tensors, insertion order preserved."""
+        with np.load(self.path(key), allow_pickle=True) as data:
+            if _ORDER_KEY in data.files:
+                order = [str(n) for n in data[_ORDER_KEY]]
+            else:
+                order = [n for n in data.files if n != _ORDER_KEY]
+            return {name: data[name] for name in order}
+
+    def load_meta(self, key: str) -> dict | None:
+        mp = self.meta_path(key)
+        if not mp.exists():
+            return None
+        return json.loads(mp.read_text())
+
+    def delete(self, key: str) -> None:
+        self.path(key).unlink(missing_ok=True)
+        self.meta_path(key).unlink(missing_ok=True)
+
+    # -- size accounting ------------------------------------------------
+    def nbytes(self, key: str) -> int:
+        return self.path(key).stat().st_size
+
+    def sizes(self) -> dict[str, int]:
+        return {key: self.nbytes(key) for key in self.keys()}
+
+    def total_bytes(self) -> int:
+        return sum(self.sizes().values())
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self):
+        return f"<CheckpointStore {self.root} ({len(self)} checkpoints)>"

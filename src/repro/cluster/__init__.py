@@ -1,0 +1,17 @@
+"""Cluster-scale NAS execution: scheduler, evaluators, simulator, traces."""
+
+from .evaluator import (
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+    ThreadPoolEvaluator,
+)
+from .scheduler import SCHEMES, run_search
+from .simcluster import CostModel, SimulatedCluster
+from .trace import Trace, TraceRecord, checkpoint_key
+
+__all__ = [
+    "run_search", "SCHEMES",
+    "SerialEvaluator", "ThreadPoolEvaluator", "ProcessPoolEvaluator",
+    "SimulatedCluster", "CostModel",
+    "Trace", "TraceRecord", "checkpoint_key",
+]

@@ -1,0 +1,92 @@
+"""Evaluators: where candidate training actually executes (Fig. 6 (4)).
+
+All three expose the same tiny interface — ``submit(task) -> ticket`` and
+``wait_any() -> (ticket, result)`` — so the scheduler code is identical
+over serial, thread-pool and process-pool execution.  ``task`` must be a
+picklable zero-argument callable for the process pool; the scheduler
+passes module-level functions with picklable arguments.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+from typing import Callable
+
+
+class SerialEvaluator:
+    """Run each task inline on submit; wait_any pops completed results."""
+
+    num_workers = 1
+
+    def __init__(self):
+        self._done: list[tuple[int, object]] = []
+        self._next = 0
+
+    def submit(self, task: Callable[[], object]) -> int:
+        ticket = self._next
+        self._next += 1
+        self._done.append((ticket, task()))
+        return ticket
+
+    def wait_any(self):
+        if not self._done:
+            raise RuntimeError("no pending tasks")
+        return self._done.pop(0)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._done)
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class _PoolEvaluator:
+    _executor_cls: type = cf.ThreadPoolExecutor
+
+    def __init__(self, num_workers: int = 4):
+        self.num_workers = num_workers
+        self._pool = self._executor_cls(max_workers=num_workers)
+        self._futures: dict[cf.Future, int] = {}
+        self._next = 0
+
+    def submit(self, task: Callable[[], object]) -> int:
+        ticket = self._next
+        self._next += 1
+        self._futures[self._pool.submit(task)] = ticket
+        return ticket
+
+    def wait_any(self):
+        if not self._futures:
+            raise RuntimeError("no pending tasks")
+        done, _ = cf.wait(self._futures, return_when=cf.FIRST_COMPLETED)
+        fut = next(iter(done))
+        ticket = self._futures.pop(fut)
+        return ticket, fut.result()
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._futures)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class ThreadPoolEvaluator(_PoolEvaluator):
+    _executor_cls = cf.ThreadPoolExecutor
+
+
+class ProcessPoolEvaluator(_PoolEvaluator):
+    _executor_cls = cf.ProcessPoolExecutor

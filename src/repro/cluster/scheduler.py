@@ -1,0 +1,115 @@
+"""The NAS scheduler loop (paper Fig. 6, steps 1-5).
+
+``run_search`` wires a strategy to an evaluator and a checkpoint store:
+
+1. ask the strategy for a candidate,
+2. pick its weight provider (parent by default; pluggable policy),
+3. load the provider's checkpoint and transfer selectively (LP/LCS),
+4. train/estimate the candidate on an evaluator worker,
+5. checkpoint its weights and tell the strategy the score.
+
+``scheme`` selects the paper's three configurations: ``"baseline"``
+(cold start, **no checkpointing at all** — see DESIGN.md), ``"lp"`` and
+``"lcs"``.  Wall-clock timestamps land in the returned :class:`Trace`;
+checkpoint I/O time is accounted separately as ``overhead``.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..nas.estimation import estimate_candidate
+from ..transfer.policy import get_policy
+from .evaluator import SerialEvaluator
+from .trace import Trace, TraceRecord, checkpoint_key
+
+SCHEMES = ("baseline", "lp", "lcs")
+
+
+def _evaluate_task(problem, arch_seq, seed, provider_weights, matcher,
+                   keep_weights):
+    """Module-level so ProcessPoolEvaluator can pickle it."""
+    return estimate_candidate(
+        problem, arch_seq, seed=seed, provider_weights=provider_weights,
+        matcher=matcher, keep_weights=keep_weights,
+    )
+
+
+def run_search(problem, strategy, num_candidates: int, *,
+               scheme: str = "baseline", store=None, evaluator=None,
+               provider_policy="parent", seed: int = 0,
+               name: Optional[str] = None) -> Trace:
+    """Run one NAS estimation phase; returns the completed :class:`Trace`."""
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}, expected {SCHEMES}")
+    transfers = scheme != "baseline"
+    if transfers and store is None:
+        raise ValueError(f"scheme {scheme!r} needs a checkpoint store")
+    policy = get_policy(provider_policy, space=problem.space)
+    evaluator = evaluator or SerialEvaluator()
+    rng = np.random.default_rng(seed)
+    trace = Trace(name=name or f"{problem.name}-{scheme}", scheme=scheme)
+    t0 = time.perf_counter()
+    pending: dict[int, TraceRecord] = {}  # ticket -> partial record
+    submitted = completed = 0
+
+    def submit_one():
+        nonlocal submitted
+        proposal = strategy.ask()
+        candidate_id = submitted
+        submitted += 1
+        record = TraceRecord(
+            candidate_id=candidate_id, arch_seq=tuple(proposal.arch_seq),
+            score=float("nan"), scheme=scheme,
+            parent_id=proposal.parent_id,
+            start_time=time.perf_counter() - t0,
+        )
+        provider_weights = None
+        if transfers:
+            provider = policy.select(proposal, trace.ok_records(), rng)
+            if provider is not None and store.exists(checkpoint_key(provider)):
+                io0 = time.perf_counter()
+                provider_weights = store.load(checkpoint_key(provider))
+                record.overhead += time.perf_counter() - io0
+                record.provider_id = provider
+        task = functools.partial(
+            _evaluate_task, problem, record.arch_seq, seed + candidate_id,
+            provider_weights, scheme if transfers else "lcs", transfers,
+        )
+        ticket = evaluator.submit(task)
+        pending[ticket] = record
+
+    def complete_one():
+        nonlocal completed
+        ticket, result = evaluator.wait_any()
+        record = pending.pop(ticket)
+        record.end_time = time.perf_counter() - t0
+        record.ok = result.ok
+        record.score = result.score
+        record.num_params = result.num_params
+        if result.transfer_stats is not None:
+            record.transferred = result.transfer_stats.transferred
+            record.transfer_coverage = result.transfer_stats.coverage
+        if transfers and result.ok and result.weights is not None:
+            io0 = time.perf_counter()
+            info = store.save(
+                checkpoint_key(record.candidate_id), result.weights,
+                meta={"arch_seq": list(record.arch_seq),
+                      "score": record.score, "scheme": scheme},
+            )
+            record.overhead += time.perf_counter() - io0
+            record.ckpt_bytes = info.nbytes
+        strategy.tell(record.candidate_id, record.arch_seq, record.score)
+        trace.append(record)
+        completed += 1
+
+    max_in_flight = getattr(evaluator, "num_workers", 1)
+    while completed < num_candidates:
+        while submitted < num_candidates and evaluator.in_flight < max_in_flight:
+            submit_one()
+        complete_one()
+    return trace

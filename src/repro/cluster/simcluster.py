@@ -1,0 +1,146 @@
+"""Discrete-event cluster simulator (paper §IX, Figs. 10-11).
+
+The paper measures scalability on 8/16/32-GPU allocations of ThetaGPU;
+we reproduce the *dynamics* with a virtual-clock simulator while keeping
+the *scores* real (DESIGN.md: virtual clock, real training).  Each
+candidate is genuinely trained by :func:`estimate_candidate` when it is
+dispatched, but the time it is charged comes from a per-application
+:class:`CostModel`:
+
+* training seconds grow affinely with the candidate's parameter count,
+* the serial dispatcher charges a fixed latency per submission (this is
+  what caps NT3's scaling in the paper),
+* transfer schemes additionally pay checkpoint read/write time derived
+  from the real checkpoint byte sizes and modelled bandwidths; the
+  baseline scheme performs no checkpoint I/O at all.
+
+Heterogeneous clusters (Table II's A100/K80 mix) are modelled with
+``gpu_speeds`` — per-GPU multipliers on training throughput.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nas.estimation import estimate_candidate
+from ..transfer.policy import get_policy
+from .trace import Trace, TraceRecord, checkpoint_key
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time cost of one candidate estimation task."""
+
+    base_seconds: float = 20.0        # fixed cost: startup, data loading
+    seconds_per_param: float = 1e-4   # marginal training cost per weight
+    dispatch_latency: float = 0.5     # serial scheduler, per submission
+    ckpt_latency: float = 0.05        # fixed latency per checkpoint I/O
+    write_bandwidth: float = 200e6    # bytes/s, candidate -> store
+    read_bandwidth: float = 400e6     # bytes/s, store -> candidate
+
+    def train_seconds(self, num_params: int, speed: float = 1.0) -> float:
+        return (self.base_seconds + self.seconds_per_param * num_params) / speed
+
+    def save_seconds(self, nbytes: int) -> float:
+        return self.ckpt_latency + nbytes / self.write_bandwidth
+
+    def load_seconds(self, nbytes: int) -> float:
+        return self.ckpt_latency + nbytes / self.read_bandwidth
+
+
+class SimulatedCluster:
+    """G virtual GPUs fed by a serial dispatcher; real model training."""
+
+    def __init__(self, problem, store, *, num_gpus: int = 8,
+                 cost_model: Optional[CostModel] = None,
+                 gpu_speeds: Optional[Sequence[float]] = None):
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        self.problem = problem
+        self.store = store
+        self.num_gpus = num_gpus
+        self.cost = cost_model or CostModel()
+        if gpu_speeds is None:
+            gpu_speeds = [1.0] * num_gpus
+        if len(gpu_speeds) != num_gpus:
+            raise ValueError("need one speed factor per GPU")
+        self.gpu_speeds = [float(s) for s in gpu_speeds]
+
+    def run(self, strategy, num_candidates: int, *,
+            scheme: str = "baseline", provider_policy="parent",
+            seed: int = 0) -> Trace:
+        transfers = scheme != "baseline"
+        policy = get_policy(provider_policy, space=self.problem.space)
+        rng = np.random.default_rng(seed)
+        trace = Trace(name=f"{self.problem.name}-{scheme}-g{self.num_gpus}",
+                      scheme=scheme)
+        # (free_time, gpu_index) — earliest-free GPU gets the next task
+        gpus = [(0.0, g) for g in range(self.num_gpus)]
+        heapq.heapify(gpus)
+        completions: list = []   # (end_time, candidate_id, record)
+        dispatcher_free = 0.0
+
+        def drain(until: float) -> None:
+            while completions and completions[0][0] <= until:
+                _, _, record = heapq.heappop(completions)
+                strategy.tell(record.candidate_id, record.arch_seq,
+                              record.score)
+                trace.append(record)
+
+        for candidate_id in range(num_candidates):
+            free_time, gpu = heapq.heappop(gpus)
+            dispatch_at = max(dispatcher_free, free_time)
+            drain(dispatch_at)
+            proposal = strategy.ask()
+            dispatcher_free = dispatch_at + self.cost.dispatch_latency
+            record = TraceRecord(
+                candidate_id=candidate_id,
+                arch_seq=tuple(proposal.arch_seq), score=float("nan"),
+                scheme=scheme, parent_id=proposal.parent_id,
+                start_time=dispatcher_free,
+            )
+            provider_weights = None
+            if transfers:
+                provider = policy.select(proposal, trace.ok_records(), rng)
+                if provider is not None and \
+                        self.store.exists(checkpoint_key(provider)):
+                    key = checkpoint_key(provider)
+                    provider_weights = self.store.load(key)
+                    record.overhead += self.cost.load_seconds(
+                        self.store.nbytes(key))
+                    record.provider_id = provider
+
+            # real training, virtual time
+            result = estimate_candidate(
+                self.problem, record.arch_seq, seed=seed + candidate_id,
+                provider_weights=provider_weights,
+                matcher=scheme if transfers else "lcs",
+                keep_weights=transfers,
+            )
+            record.ok = result.ok
+            record.score = result.score
+            record.num_params = result.num_params
+            if result.transfer_stats is not None:
+                record.transferred = result.transfer_stats.transferred
+                record.transfer_coverage = result.transfer_stats.coverage
+            duration = self.cost.train_seconds(result.num_params,
+                                               self.gpu_speeds[gpu])
+            if transfers and result.ok and result.weights is not None:
+                info = self.store.save(
+                    checkpoint_key(candidate_id), result.weights,
+                    meta={"arch_seq": list(record.arch_seq),
+                          "score": record.score, "scheme": scheme},
+                )
+                record.ckpt_bytes = info.nbytes
+                record.overhead += self.cost.save_seconds(info.nbytes)
+            record.end_time = record.start_time + duration + record.overhead
+            heapq.heappush(completions,
+                           (record.end_time, candidate_id, record))
+            heapq.heappush(gpus, (record.end_time, gpu))
+
+        drain(float("inf"))
+        return trace

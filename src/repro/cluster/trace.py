@@ -1,0 +1,106 @@
+"""NAS trace records — the substrate Figures 2/4/5/7 are computed from.
+
+A :class:`Trace` is the ordered list of candidate evaluations of one NAS
+run: architecture sequence, score, wall/virtual timestamps, provider and
+checkpoint-overhead accounting.  Traces serialise to JSONL so experiment
+harnesses can cache and share runs (the paper's Figs 7/8/9 and Tables
+III/IV all consume the same runs).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+
+def checkpoint_key(candidate_id: int) -> str:
+    """Store key for a candidate's partial-training checkpoint."""
+    return f"cand_{candidate_id:06d}"
+
+
+@dataclass
+class TraceRecord:
+    candidate_id: int
+    arch_seq: tuple
+    score: float
+    ok: bool = True
+    scheme: str = "baseline"
+    parent_id: Optional[int] = None
+    provider_id: Optional[int] = None
+    start_time: float = 0.0
+    end_time: float = 0.0
+    overhead: float = 0.0            # checkpoint save+load seconds
+    num_params: int = 0
+    transferred: bool = False
+    transfer_coverage: float = 0.0
+    ckpt_bytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+@dataclass
+class Trace:
+    name: str = "trace"
+    scheme: str = "baseline"
+    records: list = field(default_factory=list)
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def ok_records(self) -> list[TraceRecord]:
+        """Completed evaluations, in completion order."""
+        return [r for r in self.records if r.ok]
+
+    def best(self, k: int = 1) -> list[TraceRecord]:
+        """Top-``k`` successful candidates by score (descending)."""
+        return sorted(self.ok_records(), key=lambda r: r.score,
+                      reverse=True)[:k]
+
+    @property
+    def makespan(self) -> float:
+        """Start of the run to the last completion (virtual or wall)."""
+        if not self.records:
+            return 0.0
+        return max(r.end_time for r in self.records)
+
+    @property
+    def total_overhead(self) -> float:
+        return float(sum(r.overhead for r in self.records))
+
+    @property
+    def busy_time(self) -> float:
+        return float(sum(r.duration for r in self.records))
+
+    # ------------------------------------------------------------------
+    # caching
+    # ------------------------------------------------------------------
+    def save_jsonl(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"name": self.name, "scheme": self.scheme})
+                     + "\n")
+            for r in self.records:
+                fh.write(json.dumps(asdict(r)) + "\n")
+        return path
+
+    @classmethod
+    def load_jsonl(cls, path) -> "Trace":
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+            trace = cls(name=header["name"], scheme=header["scheme"])
+            for line in fh:
+                d = json.loads(line)
+                d["arch_seq"] = tuple(d["arch_seq"])
+                trace.append(TraceRecord(**d))
+        return trace

@@ -1,0 +1,90 @@
+"""Experiment scales (DESIGN.md "Scaled defaults").
+
+Three presets:
+
+* ``smoke``   — minutes on one CPU core; used by ``benchmarks/``.
+* ``default`` — the recorded EXPERIMENTS.md run (60 candidates x 3 seeds
+  on 8 simulated GPUs, regularized evolution N=16/S=8).
+* ``paper``   — the paper's protocol (400 candidates x 5 seeds, N=64/S=32,
+  top-10) for when real compute is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    name: str
+    apps: tuple = ("cifar10", "mnist", "nt3", "uno")
+    schemes: tuple = ("baseline", "lp", "lcs")
+    seeds: tuple = (0,)
+    num_candidates: int = 20
+    gpu_counts: tuple = (2, 4, 8)
+    population_size: int = 8
+    sample_size: int = 4
+    top_k: int = 3
+    n_pairs: int = 40          # Fig 4/5 random-pair study, per app
+    n_pairs_fig2: int = 50     # Fig 2 shape-sequence pair study, per app
+    n_sampled: int = 10        # Fig 9 architectures sampled per scheme
+    app_overrides: dict = field(default_factory=dict)
+
+
+_SMOKE_OVERRIDES = {
+    "cifar10": dict(n_train=128, n_val=48, height=12, width=12),
+    "mnist": dict(n_train=128, n_val=48, height=12, width=12),
+    "nt3": dict(n_train=96, n_val=32, length=256, n_motifs=4, signal=0.8),
+    "uno": dict(n_train=256, n_val=96),
+}
+
+CONFIGS = {
+    "smoke": ExperimentConfig(
+        name="smoke",
+        seeds=(0,),
+        num_candidates=20,
+        gpu_counts=(2, 4, 8),
+        population_size=8,
+        sample_size=4,
+        top_k=3,
+        n_pairs=40,
+        n_pairs_fig2=50,
+        n_sampled=10,
+        app_overrides=_SMOKE_OVERRIDES,
+    ),
+    "default": ExperimentConfig(
+        name="default",
+        seeds=(0, 1, 2),
+        num_candidates=60,
+        gpu_counts=(8, 16, 32),
+        population_size=16,
+        sample_size=8,
+        top_k=3,
+        n_pairs=60,
+        n_pairs_fig2=200,
+        n_sampled=15,
+        app_overrides=_SMOKE_OVERRIDES,
+    ),
+    "paper": ExperimentConfig(
+        name="paper",
+        seeds=(0, 1, 2, 3, 4),
+        num_candidates=400,
+        gpu_counts=(8, 16, 32),
+        population_size=64,
+        sample_size=32,
+        top_k=10,
+        n_pairs=1000,
+        n_pairs_fig2=10000,
+        n_sampled=100,
+        app_overrides={},
+    ),
+}
+
+
+def get_config(scale: str) -> ExperimentConfig:
+    try:
+        return CONFIGS[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; available: {sorted(CONFIGS)}"
+        ) from None

@@ -1,0 +1,80 @@
+"""Figure 10 — candidate-estimation scalability over simulated GPUs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .report import pct, text_table
+
+
+@dataclass(frozen=True)
+class Fig10Cell:
+    app: str
+    scheme: str
+    gpus: int
+    makespan: float
+    overhead: float           # total checkpoint I/O seconds
+    busy: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Checkpoint I/O as a fraction of total busy (GPU-occupied) time."""
+        if self.busy == 0.0:
+            return 0.0
+        return self.overhead / self.busy
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    cells: tuple
+
+    def cell(self, app: str, scheme: str, gpus: int) -> Fig10Cell:
+        for c in self.cells:
+            if c.app == app and c.scheme == scheme and c.gpus == gpus:
+                return c
+        raise KeyError((app, scheme, gpus))
+
+
+def run_fig10(ctx) -> Fig10Result:
+    cells = []
+    for app in ctx.config.apps:
+        for scheme in ctx.config.schemes:
+            for gpus in ctx.config.gpu_counts:
+                trace = ctx.trace(app, scheme, gpus=gpus)
+                cells.append(Fig10Cell(
+                    app=app, scheme=scheme, gpus=gpus,
+                    makespan=trace.makespan,
+                    overhead=trace.total_overhead,
+                    busy=trace.busy_time,
+                ))
+    return Fig10Result(cells=tuple(cells))
+
+
+def format_fig10(result: Fig10Result) -> str:
+    table = text_table(
+        "Figure 10: candidate-estimation time vs number of GPUs "
+        "(virtual clock)",
+        ["App", "Scheme", "GPUs", "Makespan(s)", "Overhead(s)",
+         "Overhead/busy"],
+        [
+            [c.app, c.scheme, c.gpus, f"{c.makespan:.1f}",
+             f"{c.overhead:.1f}", pct(c.overhead_fraction)]
+            for c in result.cells
+        ],
+    )
+    apps = []
+    for c in result.cells:
+        if c.app not in apps:
+            apps.append(c.app)
+    gpu_counts = sorted({c.gpus for c in result.cells})
+    lines = ["", "scaling efficiency (1.0 = linear):"]
+    for app in apps:
+        effs = {}
+        for scheme in sorted({c.scheme for c in result.cells}):
+            lo = result.cell(app, scheme, gpu_counts[0]).makespan
+            hi = result.cell(app, scheme, gpu_counts[-1]).makespan
+            ideal = gpu_counts[-1] / gpu_counts[0]
+            effs[scheme] = (lo / hi) / ideal if hi else float("nan")
+        cells = ", ".join(f"{s}={v:.2f}" for s, v in sorted(effs.items()))
+        lines.append(f"  {app}: {cells}")
+    return table + "\n" + "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Figure 2 — fraction of candidate pairs sharing a tensor shape."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..transfer.shapeseq import shape_sequence
+from .report import pct, text_table
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    app: str
+    n_pairs: int
+    shareable_fraction: float
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    rows: tuple
+
+
+def run_fig2(ctx) -> Fig2Result:
+    rows = []
+    for app in ctx.config.apps:
+        problem = ctx.problem(app)
+        space = problem.space
+        rng = np.random.default_rng(2)
+        shared = 0
+        n = ctx.config.n_pairs_fig2
+        for _ in range(n):
+            a = space.build_network(space.sample(rng), rng)
+            b = space.build_network(space.sample(rng), rng)
+            if set(shape_sequence(a)) & set(shape_sequence(b)):
+                shared += 1
+        rows.append(Fig2Row(app=app, n_pairs=n,
+                            shareable_fraction=shared / n))
+    return Fig2Result(rows=tuple(rows))
+
+
+def format_fig2(result: Fig2Result) -> str:
+    return text_table(
+        "Figure 2: candidate pairs with >= 1 identically shaped tensor",
+        ["App", "Pairs", "Shareable"],
+        [[r.app, r.n_pairs, pct(r.shareable_fraction)] for r in result.rows],
+    )

@@ -1,0 +1,60 @@
+"""Figure 4 — scope and effectiveness of LP/LCS with random providers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .report import pct, text_table
+
+
+@dataclass(frozen=True)
+class Fig4Row:
+    app: str
+    matcher: str
+    n_pairs: int
+    transferable_fraction: float   # scope: pairs where anything moved
+    positive_fraction: float       # of transferable pairs: warm > cold
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    rows: tuple
+
+    def row(self, app: str, matcher: str) -> Fig4Row:
+        for r in self.rows:
+            if r.app == app and r.matcher == matcher:
+                return r
+        raise KeyError((app, matcher))
+
+
+def run_fig4(ctx) -> Fig4Result:
+    rows = []
+    for app in ctx.config.apps:
+        pairs = ctx.pair_study(app)
+        for matcher in ("lp", "lcs"):
+            results = [p["matchers"][matcher] for p in pairs]
+            transferred = [r for r in results if r["transferred"]]
+            positive = [r for r in transferred if r["delta"] > 0]
+            rows.append(Fig4Row(
+                app=app, matcher=matcher, n_pairs=len(results),
+                transferable_fraction=(
+                    len(transferred) / len(results) if results else 0.0),
+                positive_fraction=(
+                    len(positive) / len(transferred) if transferred else 0.0),
+            ))
+    return Fig4Result(rows=tuple(rows))
+
+
+def format_fig4(result: Fig4Result) -> str:
+    return text_table(
+        "Figure 4: scope and effectiveness of weight transfer "
+        "(random providers)",
+        ["App", "Matcher", "Pairs", "Transferable", "Positive|transf.",
+         "Negative|transf."],
+        [
+            [r.app, r.matcher.upper(), r.n_pairs,
+             pct(r.transferable_fraction), pct(r.positive_fraction),
+             pct(1.0 - r.positive_fraction)]
+            for r in result.rows
+        ],
+    )

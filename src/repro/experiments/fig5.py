@@ -1,0 +1,65 @@
+"""Figure 5 — transfer effectiveness vs architecture distance d."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .report import pct, text_table
+
+BUCKET_WIDTH = 2
+
+
+def _bucket(d: int) -> str:
+    lo = ((d - 1) // BUCKET_WIDTH) * BUCKET_WIDTH + 1
+    return f"{lo}-{lo + BUCKET_WIDTH - 1}"
+
+
+@dataclass(frozen=True)
+class Fig5Cell:
+    app: str
+    matcher: str
+    distance_bucket: str           # "lo-hi"
+    n_pairs: int
+    transferable_fraction: float
+    positive_fraction: float
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    cells: tuple
+
+
+def run_fig5(ctx) -> Fig5Result:
+    cells = []
+    for app in ctx.config.apps:
+        pairs = ctx.pair_study(app)
+        for matcher in ("lp", "lcs"):
+            buckets: dict[str, list] = {}
+            for p in pairs:
+                buckets.setdefault(_bucket(p["distance"]), []).append(
+                    p["matchers"][matcher])
+            for bucket in sorted(buckets, key=lambda b: int(b.split("-")[0])):
+                results = buckets[bucket]
+                transferred = [r for r in results if r["transferred"]]
+                positive = [r for r in transferred if r["delta"] > 0]
+                cells.append(Fig5Cell(
+                    app=app, matcher=matcher, distance_bucket=bucket,
+                    n_pairs=len(results),
+                    transferable_fraction=len(transferred) / len(results),
+                    positive_fraction=(
+                        len(positive) / len(transferred)
+                        if transferred else 0.0),
+                ))
+    return Fig5Result(cells=tuple(cells))
+
+
+def format_fig5(result: Fig5Result) -> str:
+    return text_table(
+        "Figure 5: transfer effectiveness vs architecture distance d",
+        ["App", "Matcher", "d", "Pairs", "Transferable", "Positive|transf."],
+        [
+            [c.app, c.matcher.upper(), c.distance_bucket, c.n_pairs,
+             pct(c.transferable_fraction), pct(c.positive_fraction)]
+            for c in result.cells
+        ],
+    )

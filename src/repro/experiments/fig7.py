@@ -1,0 +1,108 @@
+"""Figure 7 — candidate score trajectories during NAS runtime.
+
+Scores of completing candidates are pooled over seeds and grouped into
+fixed virtual-time slots (the paper uses 50 s slots); the per-app slot
+width is derived from the app's makespan so every app gets a comparable
+number of slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics import mean_ci, time_slots
+from .report import text_table
+
+TARGET_SLOTS = 6
+
+
+@dataclass(frozen=True)
+class SlotSeries:
+    app: str
+    scheme: str
+    slot_seconds: float
+    slots: tuple          # ((slot_end_s, mean, ci, n), ...)
+    warmup_candidates: int
+    _tail_scores: tuple
+
+    def tail_mean(self) -> float:
+        """Mean candidate score after the warmup phase (the paper's
+        post-initial-phase comparison)."""
+        if not self._tail_scores:
+            return float("nan")
+        return float(np.mean(self._tail_scores))
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    series: tuple
+
+    def get(self, app: str, scheme: str) -> SlotSeries:
+        for s in self.series:
+            if s.app == app and s.scheme == scheme:
+                return s
+        raise KeyError((app, scheme))
+
+
+def run_fig7(ctx) -> Fig7Result:
+    series = []
+    for app in ctx.config.apps:
+        traces = {
+            scheme: [ctx.trace(app, scheme, seed=s)
+                     for s in ctx.config.seeds]
+            for scheme in ctx.config.schemes
+        }
+        span = max(t.makespan for ts in traces.values() for t in ts)
+        slot_s = max(5.0, 5.0 * round(span / TARGET_SLOTS / 5.0))
+        for scheme, ts in traces.items():
+            records = [r for t in ts for r in t.ok_records()]
+            slots = []
+            for idx, recs in time_slots(records, slot_s).items():
+                m, ci = mean_ci([r.score for r in recs])
+                slots.append(((idx + 1) * slot_s, m, ci, len(recs)))
+            warmup = ctx.config.population_size
+            tail = [
+                r.score
+                for t in ts
+                for r in sorted(t.ok_records(), key=lambda r: r.end_time)[warmup:]
+            ]
+            series.append(SlotSeries(
+                app=app, scheme=scheme, slot_seconds=slot_s,
+                slots=tuple(slots), warmup_candidates=warmup,
+                _tail_scores=tuple(tail),
+            ))
+    return Fig7Result(series=tuple(series))
+
+
+def format_fig7(result: Fig7Result) -> str:
+    apps = []
+    for s in result.series:
+        if s.app not in apps:
+            apps.append(s.app)
+    blocks = []
+    for app in apps:
+        per_scheme = {s.scheme: s for s in result.series if s.app == app}
+        schemes = list(per_scheme)
+        ends = sorted({e for s in per_scheme.values()
+                       for e, *_ in s.slots})
+        rows = []
+        for end in ends:
+            row = [f"{end:g}"]
+            for scheme in schemes:
+                cell = next(
+                    (f"{m:.3f} ± {ci:.3f}"
+                     for e, m, ci, _ in per_scheme[scheme].slots if e == end),
+                    "-")
+                row.append(cell)
+            rows.append(row)
+        header = ["slot(s)"] + [
+            sch.upper() if sch != "baseline" else sch for sch in schemes]
+        table = text_table(
+            f"Figure 7 [{app}]: mean candidate score per time slot",
+            header, rows)
+        tails = ", ".join(
+            f"{sch}={per_scheme[sch].tail_mean():.3f}" for sch in schemes)
+        blocks.append(table + f"\n\n  post-warmup means: {tails}")
+    return "\n\n".join(blocks)

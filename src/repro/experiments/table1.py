@@ -1,0 +1,57 @@
+"""Table I — applications and search-space summary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps import get_app
+from .report import human_count, text_table
+
+#: the paper's Table I values, shown side-by-side in the report
+PAPER = {
+    "cifar10": ("2.56P", 21),
+    "mnist": ("120M", 11),
+    "nt3": ("3M", 8),
+    "uno": ("302T", 13),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    app: str
+    size: float
+    num_variable_nodes: int
+    loss: str
+    objective: str
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: tuple
+
+
+def run_table1(config) -> Table1Result:
+    rows = []
+    for app in config.apps:
+        problem = get_app(app).problem(
+            seed=0, **config.app_overrides.get(app, {}))
+        rows.append(Table1Row(
+            app=app,
+            size=float(problem.space.size),
+            num_variable_nodes=problem.space.num_variable_nodes,
+            loss=problem.loss,
+            objective=problem.objective,
+        ))
+    return Table1Result(rows=tuple(rows))
+
+
+def format_table1(result: Table1Result) -> str:
+    return text_table(
+        "Table I: evaluated applications and search spaces",
+        ["App", "Size", "Size(paper)", "#VNs", "#VNs(paper)", "Loss", "Obj."],
+        [
+            [r.app, human_count(r.size), PAPER[r.app][0],
+             r.num_variable_nodes, PAPER[r.app][1], r.loss, r.objective]
+            for r in result.rows
+        ],
+    )

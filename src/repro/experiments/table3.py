@@ -1,0 +1,60 @@
+"""Table III — objective metrics of the discovered top-K models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fig8 import full_train_top
+from .report import text_table
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    app: str
+    scheme: str
+    n_models: int
+    fully_trained_mean: float
+    fully_trained_std: float
+    early_stopped_mean: float
+    early_stopped_std: float
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    rows: tuple
+
+    def row(self, app: str, scheme: str) -> Table3Row:
+        for r in self.rows:
+            if r.app == app and r.scheme == scheme:
+                return r
+        raise KeyError((app, scheme))
+
+
+def run_table3(ctx) -> Table3Result:
+    rows = []
+    for (app, scheme), rs in full_train_top(ctx).items():
+        full = np.array([r.score for r in rs])
+        early = np.array([r.early_stopped_score for r in rs])
+        rows.append(Table3Row(
+            app=app, scheme=scheme, n_models=len(rs),
+            fully_trained_mean=float(full.mean()),
+            fully_trained_std=float(full.std()),
+            early_stopped_mean=float(early.mean()),
+            early_stopped_std=float(early.std()),
+        ))
+    return Table3Result(rows=tuple(rows))
+
+
+def format_table3(result: Table3Result) -> str:
+    return text_table(
+        "Table III: objective metrics of the top-scored models",
+        ["App", "Scheme", "Models", "Fully trained", "Early stopped"],
+        [
+            [r.app, r.scheme, r.n_models,
+             f"{r.fully_trained_mean:.3f} ± {r.fully_trained_std:.3f}",
+             f"{r.early_stopped_mean:.3f} ± {r.early_stopped_std:.3f}"]
+            for r in result.rows
+        ],
+    )

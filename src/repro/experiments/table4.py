@@ -1,0 +1,59 @@
+"""Table IV — parameter counts of the discovered top-K models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fig8 import full_train_top
+from .report import human_count, text_table
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    app: str
+    scheme: str
+    n_models: int
+    mean_params: float
+    std_params: float
+    max_params: int
+    min_params: int
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    rows: tuple
+
+    def row(self, app: str, scheme: str) -> Table4Row:
+        for r in self.rows:
+            if r.app == app and r.scheme == scheme:
+                return r
+        raise KeyError((app, scheme))
+
+
+def run_table4(ctx) -> Table4Result:
+    rows = []
+    for (app, scheme), rs in full_train_top(ctx).items():
+        params = np.array([r.num_params for r in rs])
+        rows.append(Table4Row(
+            app=app, scheme=scheme, n_models=len(rs),
+            mean_params=float(params.mean()),
+            std_params=float(params.std()),
+            max_params=int(params.max()),
+            min_params=int(params.min()),
+        ))
+    return Table4Result(rows=tuple(rows))
+
+
+def format_table4(result: Table4Result) -> str:
+    return text_table(
+        "Table IV: model complexity of the top-scored models",
+        ["App", "Scheme", "Models", "Params/1e6 (mean±std)", "Max", "Min"],
+        [
+            [r.app, r.scheme, r.n_models,
+             f"{r.mean_params / 1e6:.3f} ± {r.std_params / 1e6:.3f}",
+             human_count(r.max_params), human_count(r.min_params)]
+            for r in result.rows
+        ],
+    )

@@ -1,0 +1,70 @@
+"""Statistics used by the experiment harnesses.
+
+``kendall_tau`` is the tau-b variant (tie-corrected), validated against
+``scipy.stats.kendalltau`` in the test suite — the paper uses it to
+quantify how faithfully partial-training estimation ranks candidates
+(Fig. 9).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def kendall_tau(a: Sequence[float], b: Sequence[float]) -> float:
+    """Kendall's tau-b of two paired score lists (O(n^2) pair scan)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("kendall_tau needs two equal-length 1-D sequences")
+    n = a.shape[0]
+    if n < 2:
+        return float("nan")
+    concordant = discordant = ties_a = ties_b = 0
+    for i in range(n - 1):
+        da = a[i + 1:] - a[i]
+        db = b[i + 1:] - b[i]
+        prod = np.sign(da) * np.sign(db)
+        concordant += int(np.sum(prod > 0))
+        discordant += int(np.sum(prod < 0))
+        ties_a += int(np.sum((da == 0) & (db != 0)))
+        ties_b += int(np.sum((db == 0) & (da != 0)))
+    denom = math.sqrt(
+        (concordant + discordant + ties_a)
+        * (concordant + discordant + ties_b)
+    )
+    if denom == 0:
+        return float("nan")
+    return (concordant - discordant) / denom
+
+
+def mean_ci(values: Sequence[float], z: float = 1.96) -> tuple:
+    """(mean, half-width of the normal-approx confidence interval)."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return float("nan"), float("nan")
+    if v.size == 1:
+        return float(v[0]), 0.0
+    return float(v.mean()), float(z * v.std(ddof=1) / math.sqrt(v.size))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0 or np.any(v <= 0):
+        raise ValueError("geometric_mean needs positive values")
+    return float(np.exp(np.mean(np.log(v))))
+
+
+def time_slots(records, slot_seconds: float = 50.0) -> dict:
+    """Group trace records into fixed time slots by completion time —
+    the paper's Fig. 7 uses 50 s slots.  Returns {slot_index: [records]}."""
+    slots: dict[int, list] = {}
+    for r in records:
+        slots.setdefault(int(r.end_time // slot_seconds), []).append(r)
+    return dict(sorted(slots.items()))
+
+
+__all__ = ["kendall_tau", "mean_ci", "geometric_mean", "time_slots"]

@@ -1,0 +1,14 @@
+"""Search strategies: random, regularized evolution, surrogate."""
+
+from .base import Proposal, Strategy
+from .evolution import RegularizedEvolution
+from .random_search import RandomSearch
+from .surrogate import SurrogateSearch
+
+__all__ = [
+    "Proposal",
+    "Strategy",
+    "RandomSearch",
+    "RegularizedEvolution",
+    "SurrogateSearch",
+]

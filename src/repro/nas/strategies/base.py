@@ -1,0 +1,33 @@
+"""Strategy protocol: the ask/tell interface the schedulers drive.
+
+``ask()`` returns a :class:`Proposal`; the scheduler evaluates it and
+calls ``tell(candidate_id, arch_seq, score)`` when the result lands.
+Strategies must tolerate several ``ask()`` calls before the matching
+``tell`` (asynchronous clusters evaluate many candidates in flight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Proposal:
+    arch_seq: tuple
+    parent_id: Optional[int] = None   # provider when evolution bred it
+
+
+class Strategy:
+    def __init__(self, space, rng=None):
+        self.space = space
+        self.rng = np.random.default_rng(rng) if not isinstance(
+            rng, np.random.Generator) else rng
+
+    def ask(self) -> Proposal:
+        raise NotImplementedError
+
+    def tell(self, candidate_id: int, arch_seq, score: float) -> None:
+        raise NotImplementedError

@@ -1,0 +1,64 @@
+"""Regularized evolution (the paper's Algorithm 1) with aging variants.
+
+Population = FIFO of the last ``population_size`` completed candidates.
+Each ``ask`` after the random warmup samples ``sample_size`` members,
+mutates the best one at ``num_mutations`` nodes (d = num_mutations; the
+paper uses 1, so the parent is a provider at distance 1 by construction)
+and records the parent id so the scheduler can use the parent as the
+weight provider.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .base import Proposal, Strategy
+
+
+@dataclass(frozen=True)
+class _Member:
+    candidate_id: int
+    arch_seq: tuple
+    score: float
+
+
+class RegularizedEvolution(Strategy):
+    def __init__(self, space, rng=None, population_size: int = 16,
+                 sample_size: int = 8, num_mutations: int = 1,
+                 tournament: str = "best"):
+        """``tournament``: 'best' (Algorithm 1) or 'aging' (oldest of the
+        sample wins — an aging-tournament extension)."""
+        super().__init__(space, rng)
+        if sample_size > population_size:
+            raise ValueError("sample_size must be <= population_size")
+        if tournament not in ("best", "aging"):
+            raise ValueError(f"unknown tournament {tournament!r}")
+        self.population_size = population_size
+        self.sample_size = sample_size
+        self.num_mutations = num_mutations
+        self.tournament = tournament
+        self.population: deque[_Member] = deque(maxlen=population_size)
+        self._asked = 0
+
+    def ask(self) -> Proposal:
+        self._asked += 1
+        # random warmup until one full population has been *submitted*
+        # (not completed — the cluster may have many evaluations in flight)
+        if self._asked <= self.population_size or len(self.population) == 0:
+            return Proposal(self.space.sample(self.rng))
+        k = min(self.sample_size, len(self.population))
+        idx = self.rng.choice(len(self.population), size=k, replace=False)
+        sample = [self.population[int(i)] for i in idx]
+        if self.tournament == "best":
+            parent = max(sample, key=lambda m: m.score)
+        else:  # aging: the oldest sampled member breeds
+            parent = min(sample, key=lambda m: m.candidate_id)
+        child = self.space.mutate(parent.arch_seq, self.rng,
+                                  num_mutations=self.num_mutations)
+        return Proposal(child, parent_id=parent.candidate_id)
+
+    def tell(self, candidate_id, arch_seq, score) -> None:
+        self.population.append(
+            _Member(candidate_id, tuple(arch_seq), float(score))
+        )

@@ -1,0 +1,52 @@
+"""kNN-surrogate search with nearest-provider transfer (extension).
+
+Scores unseen architectures with a k-nearest-neighbour model over
+architecture distance, proposes the most promising of a random pool, and
+points the scheduler at the nearest evaluated candidate as the weight
+provider — Section V-B's "other strategies" extension point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Proposal, Strategy
+
+
+class SurrogateSearch(Strategy):
+    def __init__(self, space, rng=None, pool_size: int = 32, k: int = 3,
+                 warmup: int = 8, explore: float = 0.1):
+        super().__init__(space, rng)
+        self.pool_size = pool_size
+        self.k = k
+        self.warmup = warmup
+        self.explore = explore
+        self._evaluated: list[tuple[int, tuple, float]] = []
+        self._asked = 0
+
+    def _predict(self, arch_seq) -> float:
+        dists = np.array([
+            self.space.distance(arch_seq, seq)
+            for _, seq, _ in self._evaluated
+        ])
+        scores = np.array([s for _, _, s in self._evaluated])
+        nearest = np.argsort(dists)[: self.k]
+        weights = 1.0 / (1.0 + dists[nearest])
+        return float(np.average(scores[nearest], weights=weights))
+
+    def _nearest_id(self, arch_seq) -> int:
+        dists = [self.space.distance(arch_seq, seq)
+                 for _, seq, _ in self._evaluated]
+        return self._evaluated[int(np.argmin(dists))][0]
+
+    def ask(self) -> Proposal:
+        self._asked += 1
+        if self._asked <= self.warmup or not self._evaluated or \
+                self.rng.random() < self.explore:
+            return Proposal(self.space.sample(self.rng))
+        pool = [self.space.sample(self.rng) for _ in range(self.pool_size)]
+        best = max(pool, key=self._predict)
+        return Proposal(best, parent_id=self._nearest_id(best))
+
+    def tell(self, candidate_id, arch_seq, score) -> None:
+        self._evaluated.append((candidate_id, tuple(arch_seq), float(score)))

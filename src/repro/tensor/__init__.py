@@ -1,0 +1,36 @@
+"""From-scratch NumPy deep-learning framework (the TF/Keras substitute)."""
+
+from .layers import (
+    Activation,
+    AvgPool1D,
+    AvgPool2D,
+    BatchNorm,
+    BuildError,
+    Concatenate,
+    Conv1D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Identity,
+    Layer,
+    MaxPool1D,
+    MaxPool2D,
+)
+from .losses import get_loss, get_metric
+from .network import Network
+from .optimizers import SGD, Adam, Optimizer, RMSProp, get_optimizer
+from .schedules import CosineDecay, ExponentialDecay, StepDecay
+from .serialization import load_bundle, save_bundle
+from .training import EarlyStopping, History, evaluate, fit
+
+__all__ = [
+    "Activation", "AvgPool1D", "AvgPool2D", "BatchNorm", "BuildError",
+    "Concatenate", "Conv1D", "Conv2D", "Dense", "Dropout", "Flatten",
+    "Identity", "Layer", "MaxPool1D", "MaxPool2D", "Network",
+    "Adam", "SGD", "RMSProp", "Optimizer", "get_optimizer",
+    "get_loss", "get_metric",
+    "EarlyStopping", "History", "evaluate", "fit",
+    "StepDecay", "ExponentialDecay", "CosineDecay",
+    "save_bundle", "load_bundle",
+]

@@ -1,0 +1,306 @@
+"""Low-level forward/backward kernels.
+
+Every op is a pure function pair: ``*_forward`` returns ``(out, cache)``
+and ``*_backward`` consumes ``(grad_out, cache)``.  Layout conventions:
+
+- dense activations: ``(N, D)``
+- 1-D feature maps:  ``(N, L, C)`` (length-major, channels-last)
+- 2-D feature maps:  ``(N, H, W, C)`` (NHWC, like Keras)
+
+Convolutions are implemented with im2col so the inner loop is a single
+matmul; backprop is exact (validated against numerical gradients in
+``tests/test_autodiff.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# dense
+# ---------------------------------------------------------------------------
+
+
+def dense_forward(x, kernel, bias):
+    out = x @ kernel + bias
+    return out, (x, kernel)
+
+
+def dense_backward(gout, cache):
+    x, kernel = cache
+    gx = gout @ kernel.T
+    gk = x.T @ gout
+    gb = gout.sum(axis=0)
+    return gx, gk, gb
+
+
+# ---------------------------------------------------------------------------
+# im2col helpers
+# ---------------------------------------------------------------------------
+
+
+def _pad2d(x, ph, pw):
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0)))
+
+
+def im2col2d(x, kh, kw):
+    """(N, H, W, C) -> (N, Ho, Wo, kh*kw*C) patch matrix (stride 1)."""
+    n, h, w, c = x.shape
+    ho, wo = h - kh + 1, w - kw + 1
+    s0, s1, s2, s3 = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x, shape=(n, ho, wo, kh, kw, c), strides=(s0, s1, s2, s1, s2, s3),
+        writeable=False,
+    )
+    return patches.reshape(n, ho, wo, kh * kw * c)
+
+
+def conv2d_forward(x, kernel, bias, padding="same"):
+    """kernel: (kh, kw, Cin, Cout); stride 1; padding 'same' or 'valid'."""
+    kh, kw, cin, cout = kernel.shape
+    if padding == "same":
+        ph, pw = (kh - 1) // 2, (kw - 1) // 2
+        # even kernels pad asymmetrically; we only use odd kernels
+        xp = _pad2d(x, ph, pw)
+    else:
+        ph = pw = 0
+        xp = x
+    cols = im2col2d(xp, kh, kw)  # (N, Ho, Wo, kh*kw*cin)
+    w2 = kernel.reshape(kh * kw * cin, cout)
+    out = cols @ w2 + bias
+    return out, (xp.shape, cols, w2, kernel.shape, (ph, pw), x.shape)
+
+
+def conv2d_backward(gout, cache):
+    xp_shape, cols, w2, kshape, (ph, pw), x_shape = cache
+    kh, kw, cin, cout = kshape
+    n, ho, wo, _ = gout.shape
+    g2 = gout.reshape(-1, cout)
+    gw2 = cols.reshape(-1, kh * kw * cin).T @ g2
+    gk = gw2.reshape(kh, kw, cin, cout)
+    gb = g2.sum(axis=0)
+    gcols = (g2 @ w2.T).reshape(n, ho, wo, kh, kw, cin)
+    gxp = np.zeros(xp_shape, dtype=gout.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            gxp[:, i:i + ho, j:j + wo, :] += gcols[:, :, :, i, j, :]
+    if ph or pw:
+        h, w = x_shape[1], x_shape[2]
+        gx = gxp[:, ph:ph + h, pw:pw + w, :]
+    else:
+        gx = gxp
+    return gx, gk, gb
+
+
+def conv1d_forward(x, kernel, bias, padding="same"):
+    """x: (N, L, C); kernel: (k, Cin, Cout); stride 1."""
+    x4 = x[:, :, None, :]                       # (N, L, 1, C)
+    k4 = kernel[:, None, :, :]                  # (k, 1, Cin, Cout)
+    out, cache = conv2d_forward(x4, k4, bias, padding)
+    return out[:, :, 0, :], cache
+
+
+def conv1d_backward(gout, cache):
+    gx4, gk4, gb = conv2d_backward(gout[:, :, None, :], cache)
+    return gx4[:, :, 0, :], gk4[:, 0, :, :], gb
+
+
+# ---------------------------------------------------------------------------
+# pooling (non-overlapping windows, stride == pool; remainder cropped)
+# ---------------------------------------------------------------------------
+
+
+def _pool2d_view(x, p):
+    n, h, w, c = x.shape
+    ho, wo = h // p, w // p
+    xv = x[:, :ho * p, :wo * p, :].reshape(n, ho, p, wo, p, c)
+    return xv, ho, wo
+
+
+def maxpool2d_forward(x, p):
+    xv, ho, wo = _pool2d_view(x, p)
+    out = xv.max(axis=(2, 4))
+    mask = xv == out[:, :, None, :, None, :]
+    # break ties so gradients are not duplicated
+    mask = mask & (np.cumsum(np.cumsum(mask, axis=2), axis=4) == 1)
+    return out, (mask, x.shape, p)
+
+
+def maxpool2d_backward(gout, cache):
+    mask, x_shape, p = cache
+    n, ho, _, wo, _, c = mask.shape
+    gx = np.zeros(x_shape, dtype=gout.dtype)
+    gv = mask * gout[:, :, None, :, None, :]
+    gx[:, :ho * p, :wo * p, :] = gv.reshape(n, ho * p, wo * p, c)
+    return gx
+
+
+def avgpool2d_forward(x, p):
+    xv, ho, wo = _pool2d_view(x, p)
+    out = xv.mean(axis=(2, 4))
+    return out, (x.shape, p, ho, wo)
+
+
+def avgpool2d_backward(gout, cache):
+    x_shape, p, ho, wo = cache
+    n, _, _, c = x_shape
+    gx = np.zeros(x_shape, dtype=gout.dtype)
+    g = np.repeat(np.repeat(gout, p, axis=1), p, axis=2) / (p * p)
+    gx[:, :ho * p, :wo * p, :] = g
+    return gx
+
+
+def _pool1d_view(x, p):
+    n, l, c = x.shape
+    lo = l // p
+    xv = x[:, :lo * p, :].reshape(n, lo, p, c)
+    return xv, lo
+
+
+def maxpool1d_forward(x, p):
+    xv, lo = _pool1d_view(x, p)
+    out = xv.max(axis=2)
+    mask = xv == out[:, :, None, :]
+    mask = mask & (np.cumsum(mask, axis=2) == 1)
+    return out, (mask, x.shape, p)
+
+
+def maxpool1d_backward(gout, cache):
+    mask, x_shape, p = cache
+    n, lo, _, c = mask.shape
+    gx = np.zeros(x_shape, dtype=gout.dtype)
+    gx[:, :lo * p, :] = (mask * gout[:, :, None, :]).reshape(n, lo * p, c)
+    return gx
+
+
+def avgpool1d_forward(x, p):
+    xv, lo = _pool1d_view(x, p)
+    return xv.mean(axis=2), (x.shape, p, lo)
+
+
+def avgpool1d_backward(gout, cache):
+    x_shape, p, lo = cache
+    gx = np.zeros(x_shape, dtype=gout.dtype)
+    gx[:, :lo * p, :] = np.repeat(gout, p, axis=1) / p
+    return gx
+
+
+# ---------------------------------------------------------------------------
+# batch normalisation (channels-last, any rank)
+# ---------------------------------------------------------------------------
+
+
+def batchnorm_forward(x, gamma, beta, mean, var, eps=1e-5,
+                      batch_stats=True):
+    """Normalise with the *given* statistics.  ``batch_stats`` records
+    whether they were computed from ``x`` (training) or are frozen
+    running statistics (inference) — the backward pass differs."""
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mean) * inv
+    out = gamma * xhat + beta
+    return out, (xhat, gamma, inv, x.shape, batch_stats)
+
+
+def batchnorm_backward(gout, cache):
+    xhat, gamma, inv, x_shape, batch_stats = cache
+    axes = tuple(range(gout.ndim - 1))
+    ggamma = (gout * xhat).sum(axis=axes)
+    gbeta = gout.sum(axis=axes)
+    if not batch_stats:
+        # frozen statistics are constants w.r.t. x
+        return gamma * inv * gout, ggamma, gbeta
+    m = np.prod([x_shape[a] for a in axes])
+    gx = (gamma * inv / m) * (
+        m * gout - gbeta - xhat * ggamma
+    )
+    return gx, ggamma, gbeta
+
+
+# ---------------------------------------------------------------------------
+# dropout
+# ---------------------------------------------------------------------------
+
+
+def dropout_forward(x, rate, rng):
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * mask, mask
+
+
+def dropout_backward(gout, mask):
+    return gout * mask
+
+
+# ---------------------------------------------------------------------------
+# activations
+# ---------------------------------------------------------------------------
+
+
+def relu_forward(x):
+    out = np.maximum(x, 0.0)
+    return out, out
+
+
+def relu_backward(gout, out):
+    return gout * (out > 0)
+
+
+def tanh_forward(x):
+    out = np.tanh(x)
+    return out, out
+
+
+def tanh_backward(gout, out):
+    return gout * (1.0 - out * out)
+
+
+def sigmoid_forward(x):
+    out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+    return out, out
+
+
+def sigmoid_backward(gout, out):
+    return gout * out * (1.0 - out)
+
+
+def elu_forward(x, alpha=1.0):
+    out = np.where(x > 0, x, alpha * (np.exp(np.clip(x, -60.0, 0.0)) - 1.0))
+    return out, (out, alpha)
+
+
+def elu_backward(gout, cache):
+    out, alpha = cache
+    return gout * np.where(out > 0, 1.0, out + alpha)
+
+
+ACTIVATIONS = {
+    "relu": (relu_forward, relu_backward),
+    "tanh": (tanh_forward, tanh_backward),
+    "sigmoid": (sigmoid_forward, sigmoid_backward),
+    "elu": (elu_forward, elu_backward),
+}
+
+
+# ---------------------------------------------------------------------------
+# softmax cross-entropy (fused, numerically stable)
+# ---------------------------------------------------------------------------
+
+
+def softmax(logits):
+    z = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(logits, onehot):
+    """Returns (mean loss, probs); gradient wrt logits is
+    ``(probs - onehot) / N``."""
+    probs = softmax(logits)
+    n = logits.shape[0]
+    loss = -np.sum(onehot * np.log(probs + 1e-12)) / n
+    return loss, probs
+
+
+def softmax_cross_entropy_backward(probs, onehot):
+    return (probs - onehot) / probs.shape[0]

@@ -1,0 +1,63 @@
+"""Weight initializers with seeded RNG plumbing.
+
+Every initializer is a callable ``init(shape, rng) -> np.ndarray`` so the
+caller controls determinism by passing a ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_rng(rng) -> np.random.Generator:
+    """Accept a Generator, a seed int, or None (fresh entropy)."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _fans(shape) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:          # dense (in, out)
+        return shape[0], shape[1]
+    # conv kernels (..., Cin, Cout): receptive field x channels
+    receptive = int(np.prod(shape[:-2]))
+    return receptive * shape[-2], receptive * shape[-1]
+
+
+def glorot_uniform(shape, rng) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return as_rng(rng).uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape, rng) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return (as_rng(rng).standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape, rng=None) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape, rng=None) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros,
+    "ones": ones,
+}
+
+
+def get_initializer(name_or_fn):
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return INITIALIZERS[name_or_fn]
+    except KeyError:
+        raise ValueError(f"unknown initializer {name_or_fn!r}") from None

@@ -1,0 +1,115 @@
+"""Optimizers: Adam (the paper's configuration), SGD, RMSProp.
+
+State is keyed by tensor name, so an optimizer survives weight transfer
+(transferred tensors simply start with fresh moments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    def __init__(self, learning_rate: float = 1e-3, clipnorm: float | None = None):
+        self.learning_rate = float(learning_rate)
+        self.clipnorm = clipnorm
+        self.iterations = 0
+
+    def step(self, network) -> None:
+        """Apply one update from the gradients stored on the layers."""
+        grads = []
+        slots = []
+        for name, layer, pname in network.trainable():
+            g = layer.grads.get(pname)
+            if g is None:
+                continue
+            grads.append(g)
+            slots.append((name, layer, pname))
+        if not grads:
+            return
+        if self.clipnorm is not None:
+            gnorm = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+            if gnorm > self.clipnorm:
+                scale = self.clipnorm / (gnorm + 1e-12)
+                grads = [g * scale for g in grads]
+        self.iterations += 1
+        for (name, layer, pname), g in zip(slots, grads):
+            layer.params[pname] = self._update(
+                name, layer.params[pname], g.astype(np.float32)
+            )
+
+    def _update(self, name, param, grad):
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0,
+                 clipnorm=None):
+        super().__init__(learning_rate, clipnorm)
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def _update(self, name, param, grad):
+        if self.momentum:
+            v = self._velocity.get(name)
+            v = grad if v is None else self.momentum * v + grad
+            self._velocity[name] = v
+            grad = v
+        return param - self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Paper config: lr 1e-3, beta1 .9, beta2 .999, eps 1e-7."""
+
+    def __init__(self, learning_rate: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-7, clipnorm=None):
+        super().__init__(learning_rate, clipnorm)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t: dict[str, int] = {}
+
+    def _update(self, name, param, grad):
+        t = self._t.get(name, 0) + 1
+        self._t[name] = t
+        m = self._m.get(name, 0.0)
+        v = self._v.get(name, 0.0)
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[name], self._v[name] = m, v
+        mhat = m / (1 - self.beta1 ** t)
+        vhat = v / (1 - self.beta2 ** t)
+        return param - self.learning_rate * mhat / (np.sqrt(vhat) + self.eps)
+
+
+class RMSProp(Optimizer):
+    def __init__(self, learning_rate: float = 1e-3, rho: float = 0.9,
+                 eps: float = 1e-7, clipnorm=None):
+        super().__init__(learning_rate, clipnorm)
+        self.rho, self.eps = rho, eps
+        self._ms: dict[str, np.ndarray] = {}
+
+    def _update(self, name, param, grad):
+        ms = self._ms.get(name, 0.0)
+        ms = self.rho * ms + (1 - self.rho) * grad * grad
+        self._ms[name] = ms
+        return param - self.learning_rate * grad / (np.sqrt(ms) + self.eps)
+
+
+OPTIMIZERS = {"adam": Adam, "sgd": SGD, "rmsprop": RMSProp}
+
+
+def get_optimizer(name_or_opt, learning_rate: float | None = None,
+                  clipnorm=None) -> Optimizer:
+    if isinstance(name_or_opt, Optimizer):
+        return name_or_opt
+    try:
+        cls = OPTIMIZERS[name_or_opt]
+    except KeyError:
+        raise ValueError(f"unknown optimizer {name_or_opt!r}") from None
+    kwargs = {}
+    if learning_rate is not None:
+        kwargs["learning_rate"] = learning_rate
+    if clipnorm is not None:
+        kwargs["clipnorm"] = clipnorm
+    return cls(**kwargs)

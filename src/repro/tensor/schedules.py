@@ -1,0 +1,46 @@
+"""Learning-rate schedules (extension; see DESIGN.md "Beyond the paper").
+
+A schedule is a callable ``epoch -> learning_rate`` compatible with the
+``schedule=`` argument of :func:`repro.tensor.training.fit`.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class StepDecay:
+    def __init__(self, initial_lr: float, drop: float = 0.5,
+                 every: int = 5):
+        self.initial_lr, self.drop, self.every = initial_lr, drop, every
+
+    def __call__(self, epoch: int) -> float:
+        return self.initial_lr * (self.drop ** (epoch // self.every))
+
+
+class ExponentialDecay:
+    def __init__(self, initial_lr: float, rate: float = 0.9):
+        self.initial_lr, self.rate = initial_lr, rate
+
+    def __call__(self, epoch: int) -> float:
+        return self.initial_lr * (self.rate ** epoch)
+
+
+class CosineDecay:
+    def __init__(self, initial_lr: float, total_epochs: int,
+                 min_lr: float = 0.0):
+        self.initial_lr, self.total_epochs = initial_lr, max(total_epochs, 1)
+        self.min_lr = min_lr
+
+    def __call__(self, epoch: int) -> float:
+        t = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.initial_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * t)
+        )
+
+
+SCHEDULES = {
+    "step": StepDecay,
+    "exponential": ExponentialDecay,
+    "cosine": CosineDecay,
+}

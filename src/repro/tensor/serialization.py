@@ -1,0 +1,38 @@
+"""Whole-model bundles: architecture config + weights in one npz file.
+
+A bundle stores an arbitrary JSON-serialisable ``config`` (typically
+``{"app": ..., "arch_seq": [...]}``) next to the ordered named weights, so
+a discovered model can be re-instantiated without the originating search
+session.  Extension per DESIGN.md "Beyond the paper".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+_CONFIG_KEY = "__config_json__"
+_ORDER_KEY = "__order__"
+
+
+def save_bundle(path, weights: dict[str, np.ndarray], config: dict) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {name: np.asarray(arr) for name, arr in weights.items()}
+    payload[_CONFIG_KEY] = np.frombuffer(
+        json.dumps(config).encode("utf-8"), dtype=np.uint8
+    )
+    payload[_ORDER_KEY] = np.array(list(weights.keys()), dtype=object)
+    with open(path, "wb") as fh:
+        np.savez(fh, **payload)
+    return path
+
+
+def load_bundle(path) -> tuple[dict, dict[str, np.ndarray]]:
+    with np.load(path, allow_pickle=True) as data:
+        config = json.loads(bytes(data[_CONFIG_KEY].tobytes()).decode("utf-8"))
+        order = [str(n) for n in data[_ORDER_KEY]]
+        weights = {name: data[name] for name in order}
+    return config, weights

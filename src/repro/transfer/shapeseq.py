@@ -1,0 +1,59 @@
+"""Shape sequences (the paper's Figure 3 substrate).
+
+A model's *shape sequence* is the ordered list of its parameterized
+layers' signatures, one element per layer, where a signature is the tuple
+of that layer's tensor shapes — e.g. a conv layer contributes
+``((k, k, Cin, F), (F,))``, a batch-norm ``((C,), (C,), (C,), (C,))``.
+
+DESIGN.md records why the sequence is layer-level rather than raw-tensor
+level: matching whole layers keeps biases and batch-norm statistics
+attached to their kernels, and stops the ubiquitous head-bias shape from
+making every pair "shareable" (which would collapse Figure 2 to 100%).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+Signature = tuple  # tuple of shape tuples
+ShapeSequence = tuple  # tuple of Signatures
+
+
+def shape_sequence(model_or_weights) -> ShapeSequence:
+    """Shape sequence of a built :class:`~repro.tensor.network.Network`
+    or of an ordered ``{"layer.param": array}`` weights mapping."""
+    if hasattr(model_or_weights, "parameterized_layers"):
+        return tuple(
+            layer.signature() for layer in model_or_weights.parameterized_layers()
+        )
+    return tuple(sig for _, sig in group_layers(model_or_weights))
+
+
+def group_layers(weights) -> list[tuple[list[str], Signature]]:
+    """Group an ordered ``{"layer.param": array}`` mapping back into
+    layers: consecutive entries sharing the ``layer`` prefix.
+
+    Returns ``[(tensor_names, signature), ...]`` in sequence order.
+    """
+    groups: list[tuple[list[str], Signature]] = []
+    current_prefix = None
+    names: list[str] = []
+    shapes: list[tuple] = []
+    for name, arr in weights.items():
+        prefix = name.rsplit(".", 1)[0]
+        if prefix != current_prefix:
+            if names:
+                groups.append((names, tuple(shapes)))
+            current_prefix, names, shapes = prefix, [], []
+        names.append(name)
+        shapes.append(tuple(np.asarray(arr).shape))
+    if names:
+        groups.append((names, tuple(shapes)))
+    return groups
+
+
+def format_sequence(seq: Union[ShapeSequence, Sequence]) -> str:
+    """Human-readable one-line-per-layer rendering."""
+    return "\n".join(str(sig) for sig in seq)

@@ -1,0 +1,52 @@
+"""Validate the committed results/default checkpoint artifacts.
+
+The recorded EXPERIMENTS.md run left cifar10 LCS checkpoints under
+results/default/ckpt/; this guards them against the truncation that lost
+the original seed capture (each .npz must be a loadable zip, each .json
+valid metadata)."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+CKPT_ROOT = REPO / "results" / "default" / "ckpt"
+RUN_DIRS = sorted(CKPT_ROOT.glob("cifar10_lcs_s0_g*_n60"))
+
+
+def test_recorded_run_dirs_exist():
+    assert CKPT_ROOT.is_dir()
+    assert [d.name for d in RUN_DIRS] == [
+        "cifar10_lcs_s0_g16_n60",
+        "cifar10_lcs_s0_g32_n60",
+        "cifar10_lcs_s0_g8_n60",
+    ]
+
+
+@pytest.mark.parametrize("run_dir", RUN_DIRS, ids=lambda d: d.name)
+def test_checkpoints_load(run_dir):
+    npz_files = sorted(run_dir.glob("*.npz"))
+    assert npz_files, f"no checkpoints in {run_dir}"
+    for path in npz_files:
+        # allow_pickle covers the store's object-dtype __order__ array
+        with np.load(path, allow_pickle=True) as data:
+            names = [n for n in data.files if not n.startswith("__")]
+            assert names, f"{path} holds no weight tensors"
+            assert any(n.endswith(".kernel") for n in names)
+            for n in names:
+                assert np.isfinite(data[n]).all(), f"{path}:{n} non-finite"
+
+
+@pytest.mark.parametrize("run_dir", RUN_DIRS, ids=lambda d: d.name)
+def test_checkpoint_metadata(run_dir):
+    json_files = sorted(run_dir.glob("*.json"))
+    assert json_files
+    for path in json_files:
+        meta = json.loads(path.read_text())
+        assert meta["scheme"] == "lcs"
+        assert isinstance(meta["arch_seq"], list)
+        assert np.isfinite(meta["score"])
+        # every metadata file pairs with a loadable checkpoint
+        assert path.with_suffix(".npz").exists()

@@ -1,0 +1,78 @@
+"""CheckpointStore, MultiLevelStore, AsyncCheckpointWriter."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import AsyncCheckpointWriter, CheckpointStore, MultiLevelStore
+
+
+def weights(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "d.kernel": rng.normal(size=(8, 4)).astype(np.float32),
+        "d.bias": rng.normal(size=4).astype(np.float32),
+    }
+
+
+def test_save_load_round_trip(tmp_path):
+    store = CheckpointStore(tmp_path)
+    w = weights()
+    store.save("m_000001", w, meta={"score": 0.5, "arch_seq": [1, 2]})
+    assert store.exists("m_000001")
+    loaded = store.load("m_000001")
+    assert list(loaded) == list(w)          # order preserved
+    assert all(np.array_equal(loaded[k], w[k]) for k in w)
+    assert store.load_meta("m_000001") == {"score": 0.5, "arch_seq": [1, 2]}
+
+
+def test_keys_len_sizes_delete(tmp_path):
+    store = CheckpointStore(tmp_path)
+    for i in range(3):
+        store.save(f"m_{i:06d}", weights(i))
+    assert len(store) == 3
+    assert store.keys() == [f"m_{i:06d}" for i in range(3)]
+    assert all(n > 0 for n in store.sizes().values())
+    assert store.total_bytes() == sum(store.sizes().values())
+    store.delete("m_000001")
+    assert not store.exists("m_000001")
+    assert len(store) == 2
+
+
+def test_missing_key_raises(tmp_path):
+    store = CheckpointStore(tmp_path)
+    with pytest.raises(FileNotFoundError):
+        store.load("nope")
+    assert store.load_meta("nope") is None
+
+
+def test_compressed_store_is_smaller_for_redundant_data(tmp_path):
+    w = {"d.kernel": np.zeros((64, 64), dtype=np.float32)}
+    plain = CheckpointStore(tmp_path / "plain")
+    packed = CheckpointStore(tmp_path / "packed", compress=True)
+    plain.save("k", w)
+    packed.save("k", w)
+    assert packed.nbytes("k") < plain.nbytes("k")
+    assert np.array_equal(packed.load("k")["d.kernel"], w["d.kernel"])
+
+
+def test_async_writer_flushes_to_store(tmp_path):
+    store = CheckpointStore(tmp_path)
+    with AsyncCheckpointWriter(store) as writer:
+        for i in range(5):
+            writer.save(f"m_{i:06d}", weights(i), meta={"i": i})
+        writer.flush()
+        assert len(store) == 5
+    assert store.load_meta("m_000003") == {"i": 3}
+
+
+def test_multilevel_store_reads_through_to_pfs(tmp_path):
+    ml = MultiLevelStore(tmp_path / "local", tmp_path / "pfs")
+    w = weights()
+    ml.save("k", w, meta={"score": 1.0})
+    ml.flush()
+    assert ml.exists("k")
+    assert ml.pfs.exists("k")
+    ml.evict_local("k")
+    loaded = ml.load("k")                    # falls back to the PFS tier
+    assert all(np.array_equal(loaded[k], w[k]) for k in w)
+    ml.close()

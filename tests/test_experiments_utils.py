@@ -1,0 +1,70 @@
+"""Experiment plumbing: configs, report rendering, context caching."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    get_config,
+    human_bytes,
+    human_count,
+    pct,
+    save_csv,
+    text_table,
+)
+
+
+def test_get_config_scales():
+    smoke = get_config("smoke")
+    default = get_config("default")
+    paper = get_config("paper")
+    assert smoke.num_candidates < default.num_candidates \
+        < paper.num_candidates
+    assert smoke.apps == ("cifar10", "mnist", "nt3", "uno")
+    assert default.schemes == ("baseline", "lp", "lcs")
+    with pytest.raises(ValueError):
+        get_config("huge")
+
+
+def test_text_table_format():
+    out = text_table("Title", ["App", "Score"],
+                     [["cifar10", "0.9"], ["nt3", "0.5"]])
+    lines = out.splitlines()
+    assert lines[0] == "Title"
+    assert lines[1].startswith("App")
+    assert " | " in lines[1]
+    assert set(lines[2]) == {"-", "+"}
+    assert "-+-" in lines[2]
+    assert lines[3].startswith("cifar10 | 0.9")
+
+
+def test_human_count_and_bytes():
+    assert human_count(1_690_000_000_000_00) == "169T"
+    assert human_count(1500) == "1.5K"
+    assert human_count(12) == "12"
+    assert human_bytes(2e9) == "2G"
+
+
+def test_pct():
+    assert pct(0.123) == "12.3%"
+    assert pct(0.5, 0) == "50%"
+
+
+def test_save_csv(tmp_path):
+    path = save_csv(tmp_path / "out" / "t.csv", ["a", "b"],
+                    [[1, 2], [3, 4]])
+    assert path.read_text().splitlines() == ["a,b", "1,2", "3,4"]
+
+
+def test_context_run_name_matches_recorded_layout(tmp_path):
+    ctx = ExperimentContext("smoke", workdir=tmp_path)
+    name = ctx.run_name("cifar10", "lcs", 8, 0)
+    assert name == "cifar10_lcs_s0_g8_n20"
+    store = ctx.store("cifar10", "lcs", gpus=8, seed=0)
+    assert store.root == tmp_path / "ckpt" / name
+    assert ctx.store("cifar10", "baseline") is None
+
+
+def test_context_caches_problems(tmp_path):
+    ctx = ExperimentContext("smoke", workdir=tmp_path)
+    assert ctx.problem("mnist") is ctx.problem("mnist")
+    assert ctx.default_gpus == max(ctx.config.gpu_counts)

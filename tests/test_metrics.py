@@ -1,0 +1,65 @@
+"""kendall_tau (vs scipy), mean_ci, geometric_mean, time_slots."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.cluster import TraceRecord
+from repro.metrics import geometric_mean, kendall_tau, mean_ci, time_slots
+
+
+def test_kendall_tau_perfect_and_inverted():
+    a = [1.0, 2.0, 3.0, 4.0]
+    assert kendall_tau(a, a) == pytest.approx(1.0)
+    assert kendall_tau(a, a[::-1]) == pytest.approx(-1.0)
+
+
+def test_kendall_tau_matches_scipy_random():
+    rng = np.random.default_rng(0)
+    for _ in range(25):
+        n = int(rng.integers(3, 40))
+        a = rng.normal(size=n)
+        b = rng.normal(size=n)
+        expected = scipy.stats.kendalltau(a, b).statistic
+        assert kendall_tau(a, b) == pytest.approx(expected, abs=1e-12)
+
+
+def test_kendall_tau_matches_scipy_with_ties():
+    rng = np.random.default_rng(1)
+    for _ in range(25):
+        n = int(rng.integers(4, 30))
+        a = rng.integers(0, 4, size=n).astype(float)
+        b = rng.integers(0, 4, size=n).astype(float)
+        expected = scipy.stats.kendalltau(a, b).statistic
+        got = kendall_tau(a, b)
+        if np.isnan(expected):
+            assert np.isnan(got) or got == 0.0
+        else:
+            assert got == pytest.approx(expected, abs=1e-12)
+
+
+def test_mean_ci():
+    mean, ci = mean_ci([1.0, 2.0, 3.0, 4.0])
+    assert mean == pytest.approx(2.5)
+    sem = np.std([1, 2, 3, 4], ddof=1) / 2.0
+    assert ci == pytest.approx(1.96 * sem)
+    mean, ci = mean_ci([5.0])
+    assert mean == 5.0 and ci == 0.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+
+def test_time_slots_buckets_by_end_time():
+    records = [
+        TraceRecord(candidate_id=i, arch_seq=(), score=0.0,
+                    end_time=float(t))
+        for i, t in enumerate([10, 49, 50, 120])
+    ]
+    slots = time_slots(records, slot_seconds=50.0)
+    assert sorted(slots) == [0, 1, 2]
+    assert [r.candidate_id for r in slots[0]] == [0, 1]
+    assert [r.candidate_id for r in slots[1]] == [2]
+    assert [r.candidate_id for r in slots[2]] == [3]

@@ -1,0 +1,47 @@
+"""Shape sequences: layer-level signatures from models and weight dicts."""
+
+import numpy as np
+
+from repro.transfer import format_sequence, group_layers, shape_sequence
+
+
+def test_shape_sequence_of_model_is_layer_level(space, problem):
+    seq = space.validate_seq((1, 1, 1))
+    model = problem.build_model(seq, rng=0)
+    shapes = shape_sequence(model)
+    # dense0(8) -> dense1(8) -> head(4); activations carry no parameters
+    assert shapes == (
+        ((72, 8), (8,)),
+        ((8, 8), (8,)),
+        ((8, 4), (4,)),
+    )
+
+
+def test_shape_sequence_from_weights_matches_model(space, problem):
+    seq = space.sample(np.random.default_rng(0))
+    model = problem.build_model(seq, rng=0)
+    assert shape_sequence(model.get_weights()) == shape_sequence(model)
+
+
+def test_group_layers_groups_by_prefix():
+    weights = {
+        "conv.kernel": np.zeros((3, 3, 2, 4)),
+        "conv.bias": np.zeros(4),
+        "head.kernel": np.zeros((16, 2)),
+        "head.bias": np.zeros(2),
+    }
+    groups = group_layers(weights)
+    assert [names for names, _ in groups] == [
+        ["conv.kernel", "conv.bias"], ["head.kernel", "head.bias"]]
+    assert groups[0][1] == ((3, 3, 2, 4), (4,))
+
+
+def test_identity_nodes_do_not_appear_in_sequence(space, problem):
+    all_identity = problem.build_model(space.validate_seq((0, 0, 0)), rng=0)
+    assert len(shape_sequence(all_identity)) == 1   # only the head
+
+
+def test_format_sequence_one_line_per_layer(space, problem):
+    model = problem.build_model(space.validate_seq((1, 0, 1)), rng=0)
+    text = format_sequence(shape_sequence(model))
+    assert len(text.splitlines()) == len(shape_sequence(model))

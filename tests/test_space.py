@@ -1,0 +1,73 @@
+"""SearchSpace: size, sampling, mutation, distance, validation."""
+
+import numpy as np
+import pytest
+
+from repro.nas import DenseOp, FlattenOp, IdentityOp, SearchSpace
+
+
+def test_size_and_choice_counts(space):
+    assert space.num_variable_nodes == 3
+    assert space.choice_counts() == (4, 3, 2)
+    assert space.size == 4 * 3 * 2
+    assert space.variable_nodes == ["dense0", "act0", "dense1"]
+
+
+def test_sample_is_valid_and_seeded(space):
+    rng = np.random.default_rng(0)
+    seq = space.sample(rng)
+    assert len(seq) == 3
+    assert all(0 <= c < n for c, n in zip(seq, space.choice_counts()))
+    assert space.sample(np.random.default_rng(0)) == seq
+
+
+def test_mutate_changes_exactly_d_nodes(space):
+    rng = np.random.default_rng(1)
+    base = space.sample(rng)
+    for d in (1, 2, 3):
+        child = space.mutate(base, rng, num_mutations=d)
+        assert space.distance(base, child) == d
+
+
+def test_mutate_changes_the_choice(space):
+    rng = np.random.default_rng(2)
+    for _ in range(20):
+        base = space.sample(rng)
+        child = space.mutate(base, rng)
+        assert child != base
+        assert space.distance(base, child) == 1
+
+
+def test_distance_is_hamming(space):
+    assert space.distance((0, 0, 0), (0, 0, 0)) == 0
+    assert space.distance((0, 0, 0), (1, 0, 1)) == 2
+    assert space.distance((0, 1, 0), (3, 2, 1)) == 3
+
+
+def test_validate_seq_rejects_bad_input(space):
+    with pytest.raises(ValueError):
+        space.validate_seq((0, 0))           # wrong length
+    with pytest.raises(ValueError):
+        space.validate_seq((9, 0, 0))        # choice out of range
+
+
+def test_duplicate_node_names_rejected():
+    space = SearchSpace("dup", (4,))
+    space.add_variable("n", [IdentityOp(), DenseOp(2)])
+    with pytest.raises(ValueError):
+        space.add_variable("n", [IdentityOp(), DenseOp(3)])
+
+
+def test_describe_names_chosen_ops(space):
+    lines = space.describe(space.validate_seq((1, 0, 0)))
+    assert any("dense" in line for line in lines)
+
+
+def test_fixed_only_space_builds_from_empty_seq():
+    space = SearchSpace("fixed", (4, 4, 1))
+    space.add_fixed(FlattenOp(), name="flatten")
+    space.add_fixed(DenseOp(2), name="head")
+    assert space.num_variable_nodes == 0
+    assert space.size == 1
+    model = space.build_network((), np.random.default_rng(0))
+    assert model.forward(np.zeros((1, 4, 4, 1))).shape == (1, 2)

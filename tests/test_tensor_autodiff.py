@@ -1,0 +1,103 @@
+"""Gradient checks: backprop vs central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nas import (
+    AvgPool1DOp,
+    BatchNormOp,
+    Conv1DOp,
+    Conv2DOp,
+    DenseOp,
+    FlattenOp,
+    MaxPool2DOp,
+    SearchSpace,
+)
+from repro.tensor import get_loss
+
+EPS = 1e-3
+RTOL = 5e-2
+
+
+def _fixed_space(input_shape, ops):
+    space = SearchSpace("gradcheck", input_shape)
+    for i, op in enumerate(ops):
+        space.add_fixed(op, name=f"n{i}")
+    return space
+
+
+def _loss_of(network, x, y, loss_fn):
+    lval, _ = loss_fn(network.forward(x, training=False), y)
+    return float(lval)
+
+
+def _check_gradients(space, input_shape, classes=3, loss="mse"):
+    rng = np.random.default_rng(0)
+    network = space.build_network((), np.random.default_rng(1))
+    x = rng.normal(size=(4,) + input_shape).astype(np.float64)
+    out_dim = network.layers[-1].output_shape[0]
+    if loss == "categorical_crossentropy":
+        y = np.eye(out_dim, dtype=np.float64)[rng.integers(0, out_dim, 4)]
+    else:
+        y = rng.normal(size=(4, out_dim))
+    loss_fn = get_loss(loss)
+
+    logits = network.forward(x, training=False)
+    _, grad = loss_fn(logits, y)
+    network.backward(grad)
+
+    checked = 0
+    for name, layer, pname in network.trainable():
+        analytic = layer.grads[pname]
+        flat = layer.params[pname].reshape(-1)
+        idx = rng.choice(flat.size, size=min(4, flat.size), replace=False)
+        for i in idx:
+            orig = flat[i]
+            flat[i] = orig + EPS
+            hi = _loss_of(network, x, y, loss_fn)
+            flat[i] = orig - EPS
+            lo = _loss_of(network, x, y, loss_fn)
+            flat[i] = orig
+            numeric = (hi - lo) / (2 * EPS)
+            a = float(analytic.reshape(-1)[i])
+            assert a == pytest.approx(numeric, rel=RTOL, abs=1e-3), (
+                f"{name}.{pname}[{i}]: analytic={a} numeric={numeric}")
+            checked += 1
+    assert checked > 0
+
+
+def test_dense_gradients():
+    space = _fixed_space((5,), [DenseOp(7, "tanh"), DenseOp(3)])
+    _check_gradients(space, (5,))
+
+
+def test_dense_crossentropy_gradients():
+    space = _fixed_space((5,), [DenseOp(6, "relu"), DenseOp(3)])
+    _check_gradients(space, (5,), loss="categorical_crossentropy")
+
+
+def test_conv2d_pipeline_gradients():
+    space = _fixed_space((6, 6, 2), [
+        Conv2DOp(3, kernel_size=3, activation="tanh"),
+        MaxPool2DOp(),
+        FlattenOp(),
+        DenseOp(3),
+    ])
+    _check_gradients(space, (6, 6, 2))
+
+
+def test_conv1d_pipeline_gradients():
+    space = _fixed_space((8, 2), [
+        Conv1DOp(3, kernel_size=3, activation="tanh"),
+        AvgPool1DOp(),
+        FlattenOp(),
+        DenseOp(3),
+    ])
+    _check_gradients(space, (8, 2))
+
+
+def test_batchnorm_gradients():
+    # Inference-mode check: running statistics are constants, so the
+    # finite-difference loss stays a pure function of gamma/beta.
+    space = _fixed_space((5,), [DenseOp(6), BatchNormOp(), DenseOp(3)])
+    _check_gradients(space, (5,))

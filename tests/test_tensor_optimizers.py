@@ -1,0 +1,71 @@
+"""Optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    SGD,
+    Adam,
+    CosineDecay,
+    ExponentialDecay,
+    RMSProp,
+    StepDecay,
+    fit,
+    get_optimizer,
+)
+
+
+@pytest.mark.parametrize("optimizer", ["sgd", "adam", "rmsprop"])
+def test_optimizers_reduce_loss(optimizer, space, problem, dataset):
+    model = problem.build_model(space.validate_seq((1, 1, 0)), rng=0)
+    history = fit(
+        model, dataset.x_train, dataset.y_train, epochs=5, batch_size=16,
+        loss=dataset.loss, optimizer=optimizer, learning_rate=1e-2, rng=0,
+    )
+    assert history.loss[-1] < history.loss[0]
+
+
+def test_get_optimizer_instances_and_errors():
+    assert isinstance(get_optimizer("sgd", 1e-2, None), SGD)
+    assert isinstance(get_optimizer("adam", 1e-3, None), Adam)
+    assert isinstance(get_optimizer("rmsprop", 1e-3, None), RMSProp)
+    with pytest.raises(ValueError):
+        get_optimizer("adagrad", 1e-3, None)
+
+
+def test_clipnorm_limits_update_magnitude(space, problem, dataset):
+    model = problem.build_model(space.validate_seq((1, 0, 0)), rng=0)
+    w_before = {k: v.copy() for k, v in model.get_weights().items()}
+    fit(model, dataset.x_train * 100, dataset.y_train, epochs=1,
+        batch_size=16, loss=dataset.loss, optimizer="sgd",
+        learning_rate=1.0, clipnorm=1e-3, rng=0)
+    w_after = model.get_weights()
+    total = sum(float(((w_after[k] - w_before[k]) ** 2).sum())
+                for k in w_before)
+    assert np.sqrt(total) < 1.0   # unclipped this would explode
+
+
+def test_schedules_decay():
+    step = StepDecay(1.0, drop=0.5, every=2)
+    assert step(0) == 1.0 and step(2) == 0.5 and step(4) == 0.25
+    exp = ExponentialDecay(1.0, rate=0.5)
+    assert exp(3) == pytest.approx(0.125)
+    cos = CosineDecay(1.0, total_epochs=10)
+    assert cos(0) == pytest.approx(1.0)
+    assert cos(10) == pytest.approx(0.0)
+    assert cos(5) == pytest.approx(0.5)
+
+
+def test_schedule_drives_fit_learning_rate(space, problem, dataset):
+    model = problem.build_model(space.validate_seq((0, 0, 0)), rng=0)
+    schedule = ExponentialDecay(1e-2, rate=0.0)   # lr 0 after epoch 0
+    before = None
+    fit(model, dataset.x_train, dataset.y_train, epochs=1, batch_size=16,
+        loss=dataset.loss, optimizer="sgd", learning_rate=1e-2,
+        schedule=schedule, rng=0)
+    before = {k: v.copy() for k, v in model.get_weights().items()}
+    fit(model, dataset.x_train, dataset.y_train, epochs=1, batch_size=16,
+        loss=dataset.loss, optimizer="sgd", learning_rate=1e-2,
+        schedule=lambda e: 0.0, rng=0)
+    after = model.get_weights()
+    assert all(np.array_equal(before[k], after[k]) for k in before)

@@ -1,0 +1,73 @@
+"""fit/evaluate/EarlyStopping behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import EarlyStopping, evaluate, fit
+
+
+def test_fit_learns_tiny_problem(space, problem, dataset):
+    seq = space.validate_seq((1, 1, 0))
+    model = problem.build_model(seq, rng=0)
+    before = evaluate(model, dataset.x_val, dataset.y_val, "accuracy")
+    history = fit(
+        model, dataset.x_train, dataset.y_train,
+        x_val=dataset.x_val, y_val=dataset.y_val,
+        epochs=8, batch_size=16, loss=dataset.loss, metric=dataset.metric,
+        learning_rate=1e-2, rng=0,
+    )
+    assert history.epochs == 8
+    assert len(history.val_score) == 8
+    assert history.loss[-1] < history.loss[0]
+    assert history.val_score[-1] >= before
+
+
+def test_fit_is_deterministic_given_seed(space, problem, dataset):
+    seq = space.validate_seq((2, 0, 1))
+
+    def run():
+        model = problem.build_model(seq, rng=0)
+        fit(model, dataset.x_train, dataset.y_train, epochs=2,
+            batch_size=16, loss=dataset.loss, learning_rate=1e-2, rng=5)
+        return model.get_weights()
+
+    w0, w1 = run(), run()
+    assert all(np.array_equal(w0[k], w1[k]) for k in w0)
+
+
+def test_early_stopping_stops_on_plateau():
+    rule = EarlyStopping(threshold=0.005, patience=2, min_epochs=3)
+    improving = [0.1, 0.2, 0.3, 0.4, 0.5]
+    assert rule.stop_epoch(improving) is None
+    plateau = [0.1, 0.5, 0.501, 0.502, 0.502, 0.502]
+    stop = rule.stop_epoch(plateau)
+    assert stop is not None
+    assert 3 <= stop < len(plateau)
+
+
+def test_early_stopping_respects_min_epochs():
+    rule = EarlyStopping(threshold=0.005, patience=1, min_epochs=4)
+    flat = [0.5, 0.5, 0.5]
+    assert rule.stop_epoch(flat) is None
+
+
+def test_fit_stops_early_when_rule_given(space, problem, dataset):
+    seq = space.validate_seq((0, 0, 0))
+    model = problem.build_model(seq, rng=0)
+    history = fit(
+        model, dataset.x_train, dataset.y_train,
+        x_val=dataset.x_val, y_val=dataset.y_val,
+        epochs=30, batch_size=16, loss=dataset.loss, metric=dataset.metric,
+        learning_rate=1e-3, rng=0,
+        early_stopping=EarlyStopping(threshold=1.0, patience=1,
+                                     min_epochs=2),
+    )
+    assert history.epochs < 30   # an absurd threshold must trip the rule
+
+
+def test_evaluate_matches_metric(space, problem, dataset):
+    model = problem.build_model(space.validate_seq((0, 0, 0)), rng=0)
+    acc = evaluate(model, dataset.x_val, dataset.y_val, "accuracy")
+    assert 0.0 <= acc <= 1.0
+    assert acc == pytest.approx(
+        evaluate(model, dataset.x_val, dataset.y_val, "accuracy"))
