@@ -1,0 +1,19 @@
+"""Reproducible perf-benchmark harness for the training hot path.
+
+Micro benchmarks time each kernel pair (optimized ``repro.tensor``
+kernels vs the frozen ``repro.tensor.reference_ops`` baselines) and the
+meso benchmark times one CIFAR-10 candidate training run end to end.
+Results are written to ``BENCH_kernels.json`` at the repo root — the
+committed copy is the regression baseline the CI ``perf-smoke`` job
+checks against.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf/runner.py            # full
+    PYTHONPATH=src python benchmarks/perf/runner.py --quick    # CI tier
+    PYTHONPATH=src python benchmarks/perf/runner.py --check BENCH_kernels.json
+
+Everything is seeded; timings use median-of-rounds with warmup per the
+idiom in SNIPPETS.md; memory uses tracemalloc peaks measured in a
+separate untimed pass (NumPy registers its buffers with tracemalloc).
+"""

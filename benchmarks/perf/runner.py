@@ -1,0 +1,142 @@
+"""Emit ``BENCH_kernels.json``: median timings + memory for the hot path.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/runner.py            # full rounds
+    PYTHONPATH=src python benchmarks/perf/runner.py --quick    # CI smoke tier
+    PYTHONPATH=src python benchmarks/perf/runner.py --quick --check BENCH_kernels.json
+
+``--check`` compares the freshly measured new-path timings against a
+committed baseline and exits non-zero if any kernel regressed by more
+than ``REGRESSION_FACTOR``x — that is the CI perf gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+if __package__ in (None, ""):                      # `python benchmarks/perf/runner.py`
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+
+import numpy as np
+
+from benchmarks.perf import cases, timing
+
+#: CI gate: fail when a new-path median exceeds baseline by this factor.
+#: Loose on purpose — shared CI runners are noisy; this catches "someone
+#: reintroduced the cols cache", not 10% drift.
+REGRESSION_FACTOR = 2.0
+
+#: keys compared by --check (current vs baseline), per section
+_MICRO_KEY = "new_f32_ms"
+_E2E_KEY = "new_ms"
+
+
+def collect(quick: bool = False, epochs: int = 2) -> dict:
+    rounds = timing.QUICK_ROUNDS if quick else timing.ROUNDS
+    warmup = 1 if quick else timing.WARMUP_ROUNDS
+    e2e_rounds = max(2, rounds // 3)
+
+    rss_before = timing.ru_maxrss_kb()
+    micro = {}
+    for name, case in cases.MICRO_CASES.items():
+        print(f"  micro: {name} ...", flush=True)
+        micro[name] = case(rounds, warmup)
+    print("  e2e: cifar10 candidate train ...", flush=True)
+    e2e = cases.e2e_candidate_train_case(e2e_rounds, warmup, epochs=epochs)
+
+    return {
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "mode": "quick" if quick else "full",
+            "rounds": rounds,
+            "warmup": warmup,
+            "seed": cases.SEED,
+        },
+        "micro": micro,
+        "e2e": {"cifar10_candidate_train": e2e},
+        "ru_maxrss_kb": {"before": rss_before,
+                         "after": timing.ru_maxrss_kb()},
+    }
+
+
+def check(current: dict, baseline_path: str) -> int:
+    """Return the number of kernels that regressed past the gate."""
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    failures = 0
+    for name, row in current["micro"].items():
+        base = baseline.get("micro", {}).get(name)
+        if not base or _MICRO_KEY not in base:
+            continue
+        limit = base[_MICRO_KEY] * REGRESSION_FACTOR
+        status = "ok"
+        if row[_MICRO_KEY] > limit:
+            failures += 1
+            status = "REGRESSED"
+        print(f"  check {name}: {row[_MICRO_KEY]:.3f}ms vs baseline "
+              f"{base[_MICRO_KEY]:.3f}ms (limit {limit:.3f}ms) -> {status}")
+    base_e2e = baseline.get("e2e", {}).get("cifar10_candidate_train")
+    cur_e2e = current["e2e"]["cifar10_candidate_train"]
+    if base_e2e and _E2E_KEY in base_e2e:
+        limit = base_e2e[_E2E_KEY] * REGRESSION_FACTOR
+        status = "ok"
+        if cur_e2e[_E2E_KEY] > limit:
+            failures += 1
+            status = "REGRESSED"
+        print(f"  check e2e: {cur_e2e[_E2E_KEY]:.1f}ms vs baseline "
+              f"{base_e2e[_E2E_KEY]:.1f}ms (limit {limit:.1f}ms) -> {status}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI tier: fewer rounds, 1 warmup")
+    parser.add_argument("--out", default="BENCH_kernels.json",
+                        help="output path (default: BENCH_kernels.json)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a committed baseline JSON and "
+                             f"fail on >{REGRESSION_FACTOR}x regression")
+    parser.add_argument("--epochs", type=int, default=2,
+                        help="epochs for the e2e candidate-train case")
+    args = parser.parse_args(argv)
+
+    print(f"collecting ({'quick' if args.quick else 'full'} mode) ...")
+    results = collect(quick=args.quick, epochs=args.epochs)
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    conv = results["micro"]["conv2d_fwdbwd"]
+    e2e = results["e2e"]["cifar10_candidate_train"]
+    print(f"conv2d fwd+bwd: {conv['legacy_f64_ms']:.2f}ms (legacy stack) -> "
+          f"{conv['new_f32_ms']:.2f}ms "
+          f"({conv['speedup_vs_legacy_stack']:.2f}x), "
+          f"cache {conv['cache_reduction']:.1f}x smaller")
+    print(f"e2e candidate train: {e2e['legacy_ms']:.0f}ms -> "
+          f"{e2e['new_ms']:.0f}ms ({e2e['speedup']:.2f}x)")
+
+    if args.check:
+        print(f"checking against {args.check} ...")
+        failures = check(results, args.check)
+        if failures:
+            print(f"FAIL: {failures} case(s) regressed "
+                  f">{REGRESSION_FACTOR}x vs baseline")
+            return 1
+        print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Smoke tier of the perf harness: quick-round runs of the headline cases.
+
+Asserted bounds are deliberately looser than the numbers recorded in the
+committed ``BENCH_kernels.json`` (conv2d 2x, e2e 1.3x) — shared CI
+runners jitter, and a flaky perf gate is worse than a loose one.  The
+memory numbers are deterministic, so those keep the real thresholds.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf import cases
+from benchmarks.perf.timing import QUICK_ROUNDS
+
+_WARMUP = 1
+
+
+def test_conv2d_speedup_and_cache():
+    row = cases.conv2d_case(QUICK_ROUNDS, _WARMUP)
+    # headline acceptance number is >=2x; smoke allows CI noise
+    assert row["speedup_vs_legacy_stack"] >= 1.5, row
+    # cache layout is deterministic: padded input vs full im2col matrix
+    assert row["cache_reduction"] >= 4.0, row
+    assert row["new_peak_traced_bytes"] < row["legacy_peak_traced_bytes"], row
+
+
+def test_maxpool2d_cache_is_smaller():
+    row = cases.maxpool2d_case(QUICK_ROUNDS, _WARMUP)
+    # uint8 argmax indices vs p*p boolean mask: exactly p*p = 4x here
+    assert row["new_cache_bytes"] * 4 <= row["legacy_cache_bytes"], row
+
+
+def test_dense_dtype_discipline_speedup():
+    row = cases.dense_case(QUICK_ROUNDS, _WARMUP)
+    # float32 GEMMs move half the bytes of the old float64-promoted path
+    assert row["speedup_vs_legacy_stack"] >= 1.2, row
+
+
+def test_adam_step_allocates_less():
+    row = cases.adam_step_case(QUICK_ROUNDS, _WARMUP)
+    # in-place update reuses moment/scratch buffers; the functional
+    # legacy update allocates fresh arrays every step
+    assert row["new_peak_traced_bytes"] < row["legacy_peak_traced_bytes"], row
+
+
+def test_e2e_candidate_train_speedup():
+    row = cases.e2e_candidate_train_case(2, _WARMUP, epochs=1)
+    # headline acceptance number is >=1.3x; smoke allows CI noise
+    assert row["speedup"] >= 1.1, row

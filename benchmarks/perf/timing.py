@@ -1,0 +1,59 @@
+"""Measurement primitives: median-of-rounds timing + tracemalloc peaks.
+
+Kept free of repo imports so it can be reused by any benchmark module.
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+import time
+import tracemalloc
+
+#: default measurement plan (SNIPPETS.md idiom: warmup rounds, then a
+#: fixed number of timed rounds, median reported)
+WARMUP_ROUNDS = 3
+ROUNDS = 15
+QUICK_ROUNDS = 5
+
+
+def median(values):
+    s = sorted(values)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else 0.5 * (s[mid - 1] + s[mid])
+
+
+def bench_ms(fn, *, rounds: int = ROUNDS, warmup: int = WARMUP_ROUNDS) -> float:
+    """Median wall-clock milliseconds of ``fn()`` over ``rounds`` runs."""
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return median(times) * 1e3
+
+
+def peak_traced_bytes(fn) -> int:
+    """Peak tracemalloc-traced allocation of one ``fn()`` call.
+
+    NumPy array buffers are registered with tracemalloc, so this captures
+    kernel temporaries and caches; run it in a separate pass from timing
+    (tracing slows allocation down).
+    """
+    gc.collect()
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def ru_maxrss_kb() -> int:
+    """Process high-water RSS in KiB (Linux ru_maxrss unit)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)

@@ -40,8 +40,13 @@ class Dataset:
                 f"n_val={len(self.y_val)} metric={self.metric}>")
 
 
+#: every generator emits this dtype end-to-end; the kernels preserve it,
+#: so training never silently promotes to float64 (2x the matmul cost)
+DTYPE = np.float32
+
+
 def _onehot(labels: np.ndarray, classes: int) -> np.ndarray:
-    out = np.zeros((labels.shape[0], classes), dtype=np.float64)
+    out = np.zeros((labels.shape[0], classes), dtype=DTYPE)
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 
@@ -67,7 +72,7 @@ def make_image_dataset(n_train=128, n_val=48, height=12, width=12,
         labels = rng.integers(classes, size=n)
         x = signal * templates[labels] + noise * rng.normal(
             size=(n, height, width, channels))
-        return x.astype(np.float64), _onehot(labels, classes)
+        return x.astype(DTYPE), _onehot(labels, classes)
 
     x_train, y_train = split(n_train)
     x_val, y_val = split(n_val)
@@ -91,7 +96,7 @@ def make_profile_dataset(n_train=96, n_val=32, length=512, n_motifs=8,
         for i, lab in enumerate(labels):
             for m, pos in enumerate(positions):
                 x[i, pos:pos + motif_len, 0] += signal * motifs[lab, m]
-        return x.astype(np.float64), _onehot(labels, classes)
+        return x.astype(DTYPE), _onehot(labels, classes)
 
     x_train, y_train = split(n_train)
     x_val, y_val = split(n_val)
@@ -116,7 +121,7 @@ def make_multisource_dataset(n_train=256, n_val=96, dims=(60, 40, 20),
               for m in mixers]
         y = z @ w_lin + np.tanh(z) @ w_sq
         y = (y - y.mean()) / (y.std() + 1e-12)
-        return [x.astype(np.float64) for x in xs], y[:, None]
+        return [x.astype(DTYPE) for x in xs], y[:, None].astype(DTYPE)
 
     x_train, y_train = split(n_train)
     x_val, y_val = split(n_val)

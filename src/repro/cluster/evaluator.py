@@ -10,6 +10,7 @@ passes module-level functions with picklable arguments.
 from __future__ import annotations
 
 import concurrent.futures as cf
+import queue
 from typing import Callable
 
 
@@ -48,25 +49,34 @@ class SerialEvaluator:
 
 
 class _PoolEvaluator:
+    """Completions flow through a done-callback into a queue, so
+    ``wait_any`` is a single O(1) blocking get — the old implementation
+    re-scanned every outstanding future with ``cf.wait`` on each call,
+    O(n) per wait and O(n^2) over a run."""
+
     _executor_cls: type = cf.ThreadPoolExecutor
 
     def __init__(self, num_workers: int = 4):
         self.num_workers = num_workers
         self._pool = self._executor_cls(max_workers=num_workers)
         self._futures: dict[cf.Future, int] = {}
+        self._done: queue.SimpleQueue[cf.Future] = queue.SimpleQueue()
         self._next = 0
 
     def submit(self, task: Callable[[], object]) -> int:
         ticket = self._next
         self._next += 1
-        self._futures[self._pool.submit(task)] = ticket
+        fut = self._pool.submit(task)
+        # register before wiring the callback so a task that finishes
+        # instantly still finds its ticket in wait_any
+        self._futures[fut] = ticket
+        fut.add_done_callback(self._done.put)
         return ticket
 
     def wait_any(self):
         if not self._futures:
             raise RuntimeError("no pending tasks")
-        done, _ = cf.wait(self._futures, return_when=cf.FIRST_COMPLETED)
-        fut = next(iter(done))
+        fut = self._done.get()
         ticket = self._futures.pop(fut)
         return ticket, fut.result()
 

@@ -22,7 +22,7 @@ from .network import Network
 from .optimizers import SGD, Adam, Optimizer, RMSProp, get_optimizer
 from .schedules import CosineDecay, ExponentialDecay, StepDecay
 from .serialization import load_bundle, save_bundle
-from .training import EarlyStopping, History, evaluate, fit
+from .training import EarlyStopping, History, evaluate, fit, predict_batched
 
 __all__ = [
     "Activation", "AvgPool1D", "AvgPool2D", "BatchNorm", "BuildError",
@@ -30,7 +30,7 @@ __all__ = [
     "Identity", "Layer", "MaxPool1D", "MaxPool2D", "Network",
     "Adam", "SGD", "RMSProp", "Optimizer", "get_optimizer",
     "get_loss", "get_metric",
-    "EarlyStopping", "History", "evaluate", "fit",
+    "EarlyStopping", "History", "evaluate", "fit", "predict_batched",
     "StepDecay", "ExponentialDecay", "CosineDecay",
     "save_bundle", "load_bundle",
 ]

@@ -10,6 +10,20 @@ and ``*_backward`` consumes ``(grad_out, cache)``.  Layout conventions:
 Convolutions are implemented with im2col so the inner loop is a single
 matmul; backprop is exact (validated against numerical gradients in
 ``tests/test_autodiff.py``).
+
+Performance contract (see DESIGN.md "Kernel layout & performance"):
+
+- conv caches hold only the *padded input* — the im2col column matrix is
+  a transient that lives for one GEMM and is rebuilt from a strided view
+  in the backward pass, never kept alive between passes;
+- every op preserves the input floating dtype (float32 in -> float32
+  out); nothing silently promotes to float64;
+- max-pool caches flat argmax indices (1 byte/output element), not a
+  boolean window mask (p^2 bytes/output element).
+
+The pre-optimization implementations are frozen in ``reference_ops`` and
+the two are compared op-by-op in ``tests/test_kernel_equivalence.py`` and
+``benchmarks/perf/``.
 """
 
 from __future__ import annotations
@@ -22,7 +36,8 @@ import numpy as np
 
 
 def dense_forward(x, kernel, bias):
-    out = x @ kernel + bias
+    out = x @ kernel
+    out += bias
     return out, (x, kernel)
 
 
@@ -45,20 +60,33 @@ def _pad2d(x, ph, pw):
     return np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0)))
 
 
-def im2col2d(x, kh, kw):
-    """(N, H, W, C) -> (N, Ho, Wo, kh*kw*C) patch matrix (stride 1)."""
+def patch_view6d(x, kh, kw):
+    """(N, H, W, C) -> zero-copy (N, Ho, Wo, kh, kw, C) strided view."""
     n, h, w, c = x.shape
-    ho, wo = h - kh + 1, w - kw + 1
     s0, s1, s2, s3 = x.strides
-    patches = np.lib.stride_tricks.as_strided(
-        x, shape=(n, ho, wo, kh, kw, c), strides=(s0, s1, s2, s1, s2, s3),
-        writeable=False,
+    return np.lib.stride_tricks.as_strided(
+        x, shape=(n, h - kh + 1, w - kw + 1, kh, kw, c),
+        strides=(s0, s1, s2, s1, s2, s3), writeable=False,
     )
-    return patches.reshape(n, ho, wo, kh * kw * c)
+
+
+def im2col2d(x, kh, kw):
+    """(N, H, W, C) -> (N, Ho, Wo, kh*kw*C) patch matrix (stride 1).
+
+    The reshape of the strided 6-D view materialises one contiguous
+    copy; callers must treat it as a transient, not hold it in a cache.
+    """
+    n, h, w, c = x.shape
+    return patch_view6d(x, kh, kw).reshape(
+        n, h - kh + 1, w - kw + 1, kh * kw * c)
 
 
 def conv2d_forward(x, kernel, bias, padding="same"):
-    """kernel: (kh, kw, Cin, Cout); stride 1; padding 'same' or 'valid'."""
+    """kernel: (kh, kw, Cin, Cout); stride 1; padding 'same' or 'valid'.
+
+    The cache holds only the padded input (~1/(kh*kw) the size of the
+    im2col matrix); backward rebuilds the patch view from it.
+    """
     kh, kw, cin, cout = kernel.shape
     if padding == "same":
         ph, pw = (kh - 1) // 2, (kw - 1) // 2
@@ -67,22 +95,25 @@ def conv2d_forward(x, kernel, bias, padding="same"):
     else:
         ph = pw = 0
         xp = x
-    cols = im2col2d(xp, kh, kw)  # (N, Ho, Wo, kh*kw*cin)
-    w2 = kernel.reshape(kh * kw * cin, cout)
-    out = cols @ w2 + bias
-    return out, (xp.shape, cols, w2, kernel.shape, (ph, pw), x.shape)
+    cols = im2col2d(xp, kh, kw)  # transient (N, Ho, Wo, kh*kw*cin)
+    out = cols @ kernel.reshape(kh * kw * cin, cout)
+    out += bias
+    return out, (xp, kernel, (ph, pw), x.shape)
 
 
 def conv2d_backward(gout, cache):
-    xp_shape, cols, w2, kshape, (ph, pw), x_shape = cache
-    kh, kw, cin, cout = kshape
+    xp, kernel, (ph, pw), x_shape = cache
+    kh, kw, cin, cout = kernel.shape
     n, ho, wo, _ = gout.shape
     g2 = gout.reshape(-1, cout)
-    gw2 = cols.reshape(-1, kh * kw * cin).T @ g2
-    gk = gw2.reshape(kh, kw, cin, cout)
+    # one transient rebuild of the column matrix; measured faster than
+    # tensordot/einsum over the 6-D view (those copy internally anyway)
+    cols = im2col2d(xp, kh, kw).reshape(-1, kh * kw * cin)
+    gk = (cols.T @ g2).reshape(kh, kw, cin, cout)
     gb = g2.sum(axis=0)
-    gcols = (g2 @ w2.T).reshape(n, ho, wo, kh, kw, cin)
-    gxp = np.zeros(xp_shape, dtype=gout.dtype)
+    gcols = (g2 @ kernel.reshape(kh * kw * cin, cout).T).reshape(
+        n, ho, wo, kh, kw, cin)
+    gxp = np.zeros(xp.shape, dtype=gout.dtype)
     for i in range(kh):
         for j in range(kw):
             gxp[:, i:i + ho, j:j + wo, :] += gcols[:, :, :, i, j, :]
@@ -120,20 +151,28 @@ def _pool2d_view(x, p):
 
 
 def maxpool2d_forward(x, p):
-    xv, ho, wo = _pool2d_view(x, p)
-    out = xv.max(axis=(2, 4))
-    mask = xv == out[:, :, None, :, None, :]
-    # break ties so gradients are not duplicated
-    mask = mask & (np.cumsum(np.cumsum(mask, axis=2), axis=4) == 1)
-    return out, (mask, x.shape, p)
+    """Cache flat argmax indices (uint8, one per output element) instead
+    of a p^2-per-output boolean mask; argmax breaks ties toward the first
+    window element, so gradients are never duplicated."""
+    n, h, w, c = x.shape
+    ho, wo = h // p, w // p
+    xw = x[:, :ho * p, :wo * p, :].reshape(n, ho, p, wo, p, c) \
+        .transpose(0, 1, 3, 5, 2, 4).reshape(n, ho, wo, c, p * p)
+    idx = xw.argmax(axis=-1)
+    out = np.take_along_axis(xw, idx[..., None], axis=-1)[..., 0]
+    if p * p <= 0xFF:
+        idx = idx.astype(np.uint8)
+    return out, (idx, x.shape, p)
 
 
 def maxpool2d_backward(gout, cache):
-    mask, x_shape, p = cache
-    n, ho, _, wo, _, c = mask.shape
+    idx, x_shape, p = cache
+    n, ho, wo, c = gout.shape
+    gw = np.zeros((n, ho, wo, c, p * p), dtype=gout.dtype)
+    np.put_along_axis(gw, idx[..., None], gout[..., None], axis=-1)
     gx = np.zeros(x_shape, dtype=gout.dtype)
-    gv = mask * gout[:, :, None, :, None, :]
-    gx[:, :ho * p, :wo * p, :] = gv.reshape(n, ho * p, wo * p, c)
+    gx[:, :ho * p, :wo * p, :] = gw.reshape(n, ho, wo, c, p, p) \
+        .transpose(0, 1, 4, 2, 5, 3).reshape(n, ho * p, wo * p, c)
     return gx
 
 
@@ -160,18 +199,21 @@ def _pool1d_view(x, p):
 
 
 def maxpool1d_forward(x, p):
-    xv, lo = _pool1d_view(x, p)
-    out = xv.max(axis=2)
-    mask = xv == out[:, :, None, :]
-    mask = mask & (np.cumsum(mask, axis=2) == 1)
-    return out, (mask, x.shape, p)
+    xv, lo = _pool1d_view(x, p)            # (N, Lo, p, C)
+    idx = xv.argmax(axis=2)                # first-max tie-breaking
+    out = np.take_along_axis(xv, idx[:, :, None, :], axis=2)[:, :, 0, :]
+    if p <= 0xFF:
+        idx = idx.astype(np.uint8)
+    return out, (idx, x.shape, p)
 
 
 def maxpool1d_backward(gout, cache):
-    mask, x_shape, p = cache
-    n, lo, _, c = mask.shape
+    idx, x_shape, p = cache
+    n, lo, c = gout.shape
+    gv = np.zeros((n, lo, p, c), dtype=gout.dtype)
+    np.put_along_axis(gv, idx[:, :, None, :], gout[:, :, None, :], axis=2)
     gx = np.zeros(x_shape, dtype=gout.dtype)
-    gx[:, :lo * p, :] = (mask * gout[:, :, None, :]).reshape(n, lo * p, c)
+    gx[:, :lo * p, :] = gv.reshape(n, lo * p, c)
     return gx
 
 
@@ -199,7 +241,8 @@ def batchnorm_forward(x, gamma, beta, mean, var, eps=1e-5,
     running statistics (inference) — the backward pass differs."""
     inv = 1.0 / np.sqrt(var + eps)
     xhat = (x - mean) * inv
-    out = gamma * xhat + beta
+    out = xhat * gamma
+    out += beta
     return out, (xhat, gamma, inv, x.shape, batch_stats)
 
 
@@ -211,7 +254,8 @@ def batchnorm_backward(gout, cache):
     if not batch_stats:
         # frozen statistics are constants w.r.t. x
         return gamma * inv * gout, ggamma, gbeta
-    m = np.prod([x_shape[a] for a in axes])
+    # python int: a NumPy integer scalar here would promote f32 -> f64
+    m = int(np.prod([x_shape[a] for a in axes]))
     gx = (gamma * inv / m) * (
         m * gout - gbeta - xhat * ggamma
     )
@@ -224,7 +268,10 @@ def batchnorm_backward(gout, cache):
 
 
 def dropout_forward(x, rate, rng):
-    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    draw_dtype = x.dtype if x.dtype in (np.float32, np.float64) \
+        else np.float64
+    mask = (rng.random(x.shape, dtype=draw_dtype) >= rate).astype(x.dtype)
+    mask *= 1.0 / (1.0 - rate)
     return x * mask, mask
 
 
@@ -295,10 +342,19 @@ def softmax(logits):
 
 def softmax_cross_entropy(logits, onehot):
     """Returns (mean loss, probs); gradient wrt logits is
-    ``(probs - onehot) / N``."""
-    probs = softmax(logits)
+    ``(probs - onehot) / N``.
+
+    The loss goes through log-sum-exp on the shifted logits instead of
+    ``log(probs + eps)`` — exact for one-hot targets, no epsilon fudge,
+    and one full-size temporary fewer."""
+    z = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    se = e.sum(axis=-1, keepdims=True)
+    probs = e / se
     n = logits.shape[0]
-    loss = -np.sum(onehot * np.log(probs + 1e-12)) / n
+    loss = float(
+        (np.log(se).sum() - (z * onehot).sum()) / n
+    )
     return loss, probs
 
 

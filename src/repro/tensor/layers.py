@@ -374,12 +374,13 @@ class BatchNorm(Layer):
             mean = x.mean(axis=axes)
             var = x.var(axis=axes)
             m = self.momentum
-            self.params["moving_mean"] = (
-                m * self.params["moving_mean"] + (1 - m) * mean
-            ).astype(np.float32)
-            self.params["moving_var"] = (
-                m * self.params["moving_var"] + (1 - m) * var
-            ).astype(np.float32)
+            # running stats updated in place (no realloc + astype copies);
+            # float64 batch stats are cast by the in-place ops
+            mm, mv = self.params["moving_mean"], self.params["moving_var"]
+            mm *= m
+            mm += (1 - m) * mean
+            mv *= m
+            mv += (1 - m) * var
         else:
             mean = self.params["moving_mean"]
             var = self.params["moving_var"]

@@ -2,6 +2,15 @@
 
 State is keyed by tensor name, so an optimizer survives weight transfer
 (transferred tensors simply start with fresh moments).
+
+All update rules work **in place**: parameters are mutated via ``out=``
+ufuncs, moments are updated in their own storage, and each tensor gets
+one reusable scratch buffer, so a step allocates nothing after the first
+iteration.  Gradients are consumed as-is (float64 gradients are cast on
+the fly by the ``out=`` kwarg; the old unconditional ``astype(float32)``
+copy is gone).  The pre-optimization allocating rules are frozen in
+``reference_ops`` and compared against these in
+``tests/test_kernel_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -14,9 +23,15 @@ class Optimizer:
         self.learning_rate = float(learning_rate)
         self.clipnorm = clipnorm
         self.iterations = 0
+        self._scratch: dict[str, np.ndarray] = {}
 
     def step(self, network) -> None:
-        """Apply one update from the gradients stored on the layers."""
+        """Apply one update from the gradients stored on the layers.
+
+        With ``clipnorm`` set, gradients are scaled *in place* on the
+        layers (they are consumed by this step anyway); without it, no
+        norm reduction runs at all.
+        """
         grads = []
         slots = []
         for name, layer, pname in network.trainable():
@@ -31,14 +46,21 @@ class Optimizer:
             gnorm = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
             if gnorm > self.clipnorm:
                 scale = self.clipnorm / (gnorm + 1e-12)
-                grads = [g * scale for g in grads]
+                for g in grads:
+                    np.multiply(g, scale, out=g)
         self.iterations += 1
         for (name, layer, pname), g in zip(slots, grads):
-            layer.params[pname] = self._update(
-                name, layer.params[pname], g.astype(np.float32)
-            )
+            self._update(name, layer.params[pname], g)
 
-    def _update(self, name, param, grad):
+    def _buf(self, name: str, param: np.ndarray) -> np.ndarray:
+        buf = self._scratch.get(name)
+        if buf is None or buf.shape != param.shape or buf.dtype != param.dtype:
+            buf = np.empty_like(param)
+            self._scratch[name] = buf
+        return buf
+
+    def _update(self, name, param, grad) -> None:
+        """Mutate ``param`` in place."""
         raise NotImplementedError
 
 
@@ -49,13 +71,18 @@ class SGD(Optimizer):
         self.momentum = momentum
         self._velocity: dict[str, np.ndarray] = {}
 
-    def _update(self, name, param, grad):
+    def _update(self, name, param, grad) -> None:
         if self.momentum:
             v = self._velocity.get(name)
-            v = grad if v is None else self.momentum * v + grad
-            self._velocity[name] = v
+            if v is None:
+                v = np.zeros_like(param)
+                self._velocity[name] = v
+            v *= self.momentum
+            v += grad
             grad = v
-        return param - self.learning_rate * grad
+        buf = self._buf(name, param)
+        np.multiply(grad, self.learning_rate, out=buf)
+        param -= buf
 
 
 class Adam(Optimizer):
@@ -69,17 +96,33 @@ class Adam(Optimizer):
         self._v: dict[str, np.ndarray] = {}
         self._t: dict[str, int] = {}
 
-    def _update(self, name, param, grad):
+    def _update(self, name, param, grad) -> None:
         t = self._t.get(name, 0) + 1
         self._t[name] = t
-        m = self._m.get(name, 0.0)
-        v = self._v.get(name, 0.0)
-        m = self.beta1 * m + (1 - self.beta1) * grad
-        v = self.beta2 * v + (1 - self.beta2) * grad * grad
-        self._m[name], self._v[name] = m, v
-        mhat = m / (1 - self.beta1 ** t)
-        vhat = v / (1 - self.beta2 ** t)
-        return param - self.learning_rate * mhat / (np.sqrt(vhat) + self.eps)
+        m = self._m.get(name)
+        if m is None:
+            m = np.zeros_like(param)
+            self._m[name] = m
+        v = self._v.get(name)
+        if v is None:
+            v = np.zeros_like(param)
+            self._v[name] = v
+        buf = self._buf(name, param)
+        # m = beta1*m + (1-beta1)*g ; v = beta2*v + (1-beta2)*g*g
+        m *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=buf)
+        m += buf
+        v *= self.beta2
+        np.multiply(grad, grad, out=buf)
+        buf *= 1.0 - self.beta2
+        v += buf
+        # param -= lr/(1-beta1^t) * m / (sqrt(v/(1-beta2^t)) + eps)
+        np.divide(v, 1.0 - self.beta2 ** t, out=buf)
+        np.sqrt(buf, out=buf)
+        buf += self.eps
+        np.divide(m, buf, out=buf)
+        buf *= self.learning_rate / (1.0 - self.beta1 ** t)
+        param -= buf
 
 
 class RMSProp(Optimizer):
@@ -89,11 +132,21 @@ class RMSProp(Optimizer):
         self.rho, self.eps = rho, eps
         self._ms: dict[str, np.ndarray] = {}
 
-    def _update(self, name, param, grad):
-        ms = self._ms.get(name, 0.0)
-        ms = self.rho * ms + (1 - self.rho) * grad * grad
-        self._ms[name] = ms
-        return param - self.learning_rate * grad / (np.sqrt(ms) + self.eps)
+    def _update(self, name, param, grad) -> None:
+        ms = self._ms.get(name)
+        if ms is None:
+            ms = np.zeros_like(param)
+            self._ms[name] = ms
+        buf = self._buf(name, param)
+        ms *= self.rho
+        np.multiply(grad, grad, out=buf)
+        buf *= 1.0 - self.rho
+        ms += buf
+        np.sqrt(ms, out=buf)
+        buf += self.eps
+        np.divide(grad, buf, out=buf)
+        buf *= self.learning_rate
+        param -= buf
 
 
 OPTIMIZERS = {"adam": Adam, "sgd": SGD, "rmsprop": RMSProp}

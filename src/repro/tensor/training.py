@@ -63,8 +63,34 @@ def _take(x, idx):
     return x[idx]
 
 
-def evaluate(network, x, y, metric) -> float:
-    pred = network.forward(x, training=False)
+#: validation forward passes run in chunks of this many rows so a full
+#: dataset never materialises one giant activation set per layer
+EVAL_BATCH_SIZE = 256
+
+
+def predict_batched(network, x, batch_size: int = EVAL_BATCH_SIZE):
+    """Forward ``x`` in minibatches; returns the concatenated predictions.
+
+    Only the (small) per-batch predictions are kept — intermediate
+    activations are released between chunks, so peak memory is bounded by
+    ``batch_size`` rather than the dataset size.
+    """
+    n = (x[0] if isinstance(x, (list, tuple)) else x).shape[0]
+    if n <= batch_size:
+        return network.forward(x, training=False)
+    preds = [
+        network.forward(_take(x, slice(s, s + batch_size)), training=False)
+        for s in range(0, n, batch_size)
+    ]
+    return np.concatenate(preds, axis=0)
+
+
+def evaluate(network, x, y, metric,
+             batch_size: int = EVAL_BATCH_SIZE) -> float:
+    """Metric of ``network`` on ``(x, y)``, computed from batched forward
+    passes.  The metric itself sees the full prediction array, so
+    non-decomposable metrics (R^2) stay exact."""
+    pred = predict_batched(network, x, batch_size)
     return float(get_metric(metric)(pred, y))
 
 

@@ -1,0 +1,228 @@
+"""Optimized kernels vs the frozen pre-optimization reference kernels.
+
+``repro.tensor.reference_ops`` is a verbatim snapshot of the hot-path
+implementations before the perf rework; these tests pin the rework to
+bit-for-bit-ish (allclose) agreement on randomized shapes.
+
+Pooling note: the legacy 2-D max-pool mask tie-broke *non-uniquely*
+(its double-cumsum could keep several cells of a tied window), while the
+argmax path keeps exactly one.  Continuous random inputs make ties a
+measure-zero event, so equivalence is checked on such data; the tied
+case is exercised separately to document the new (correct) behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.tensor.autodiff_ops as ops
+import repro.tensor.reference_ops as ref
+from repro.tensor.optimizers import SGD, Adam, RMSProp
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------------------
+# convolutions
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("padding", ["same", "valid"])
+@pytest.mark.parametrize("k", [1, 3, 5])
+def test_conv2d_matches_reference(k, padding):
+    rng = _rng(k)
+    x = rng.normal(size=(4, 9, 8, 3))
+    kern = rng.normal(size=(k, k, 3, 5))
+    bias = rng.normal(size=5)
+
+    out_new, cache_new = ops.conv2d_forward(x, kern, bias, padding=padding)
+    out_ref, cache_ref = ref.conv2d_forward(x, kern, bias, padding=padding)
+    np.testing.assert_allclose(out_new, out_ref, rtol=1e-10, atol=1e-10)
+
+    gout = rng.normal(size=out_new.shape)
+    gx_new, gk_new, gb_new = ops.conv2d_backward(gout, cache_new)
+    gx_ref, gk_ref, gb_ref = ref.conv2d_backward(gout, cache_ref)
+    np.testing.assert_allclose(gx_new, gx_ref, rtol=1e-10, atol=1e-10)
+    np.testing.assert_allclose(gk_new, gk_ref, rtol=1e-10, atol=1e-10)
+    np.testing.assert_allclose(gb_new, gb_ref, rtol=1e-10, atol=1e-10)
+
+
+def test_conv2d_cache_holds_no_im2col_matrix():
+    """The memory claim itself: forward keeps the padded input, not the
+    k*k-times-larger patch matrix."""
+    rng = _rng(0)
+    x = rng.normal(size=(2, 8, 8, 3)).astype(np.float32)
+    kern = rng.normal(size=(3, 3, 3, 4)).astype(np.float32)
+    bias = np.zeros(4, dtype=np.float32)
+    _, cache_new = ops.conv2d_forward(x, kern, bias)
+    _, cache_ref = ref.conv2d_forward(x, kern, bias)
+    cached_new = max(a.nbytes for a in cache_new if isinstance(a, np.ndarray))
+    cached_ref = max(a.nbytes for a in cache_ref if isinstance(a, np.ndarray))
+    assert cached_new * 4 <= cached_ref
+
+
+@pytest.mark.parametrize("padding", ["same", "valid"])
+@pytest.mark.parametrize("k", [1, 3, 5])
+def test_conv1d_matches_reference(k, padding):
+    rng = _rng(k + 10)
+    x = rng.normal(size=(4, 17, 3))
+    kern = rng.normal(size=(k, 3, 6))
+    bias = rng.normal(size=6)
+
+    out_new, cache_new = ops.conv1d_forward(x, kern, bias, padding=padding)
+    out_ref, cache_ref = ref.conv1d_forward(x, kern, bias, padding=padding)
+    np.testing.assert_allclose(out_new, out_ref, rtol=1e-10, atol=1e-10)
+
+    gout = rng.normal(size=out_new.shape)
+    for g_new, g_ref in zip(ops.conv1d_backward(gout, cache_new),
+                            ref.conv1d_backward(gout, cache_ref)):
+        np.testing.assert_allclose(g_new, g_ref, rtol=1e-10, atol=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# max pooling
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("p", [2, 3])
+def test_maxpool2d_matches_reference(p):
+    rng = _rng(p)
+    x = rng.normal(size=(3, 6 * p, 4 * p, 5))
+
+    out_new, cache_new = ops.maxpool2d_forward(x, p)
+    out_ref, cache_ref = ref.maxpool2d_forward(x, p)
+    np.testing.assert_allclose(out_new, out_ref)
+
+    gout = rng.normal(size=out_new.shape)
+    gx_new = ops.maxpool2d_backward(gout, cache_new)
+    gx_ref = ref.maxpool2d_backward(gout, cache_ref)
+    np.testing.assert_allclose(gx_new, gx_ref)
+
+
+@pytest.mark.parametrize("p", [2, 4])
+def test_maxpool1d_matches_reference(p):
+    rng = _rng(p + 20)
+    x = rng.normal(size=(3, 12 * p, 5))
+
+    out_new, cache_new = ops.maxpool1d_forward(x, p)
+    out_ref, cache_ref = ref.maxpool1d_forward(x, p)
+    np.testing.assert_allclose(out_new, out_ref)
+
+    gout = rng.normal(size=out_new.shape)
+    np.testing.assert_allclose(ops.maxpool1d_backward(gout, cache_new),
+                               ref.maxpool1d_backward(gout, cache_ref))
+
+
+def test_maxpool2d_tied_window_routes_gradient_once():
+    """On a fully tied window the legacy mask kept several winners; the
+    argmax path keeps exactly one, so the gradient mass is conserved."""
+    x = np.ones((1, 2, 2, 1), dtype=np.float32)
+    out, cache = ops.maxpool2d_forward(x, 2)
+    assert out.shape == (1, 1, 1, 1)
+    gx = ops.maxpool2d_backward(np.full((1, 1, 1, 1), 4.0, np.float32), cache)
+    assert gx.sum() == pytest.approx(4.0)
+    assert (gx != 0).sum() == 1
+
+
+# ---------------------------------------------------------------------------
+# optimizers: in-place updates vs the allocating reference rules
+# ---------------------------------------------------------------------------
+
+
+def _trajectory_new(opt, param, grads):
+    p = param.copy()
+    for g in grads:
+        opt._update("w", p, g.copy())
+    return p
+
+
+def _trajectory_ref(update, param, grads, **hp):
+    p = param.copy()
+    state = {}
+    for g in grads:
+        p = update(p, g.copy(), state, **hp)
+    return p
+
+
+@pytest.mark.parametrize("steps", [1, 7])
+def test_adam_trajectory_matches_reference(steps):
+    rng = _rng(1)
+    param = rng.normal(size=(6, 4)).astype(np.float32)
+    grads = [rng.normal(size=param.shape).astype(np.float32)
+             for _ in range(steps)]
+    p_new = _trajectory_new(Adam(learning_rate=1e-3), param, grads)
+    p_ref = _trajectory_ref(ref.adam_update, param, grads,
+                            learning_rate=1e-3)
+    np.testing.assert_allclose(p_new, p_ref, rtol=1e-5, atol=1e-7)
+
+
+@pytest.mark.parametrize("momentum", [0.0, 0.9])
+def test_sgd_trajectory_matches_reference(momentum):
+    rng = _rng(2)
+    param = rng.normal(size=(5, 3)).astype(np.float32)
+    grads = [rng.normal(size=param.shape).astype(np.float32)
+             for _ in range(5)]
+    p_new = _trajectory_new(SGD(learning_rate=1e-2, momentum=momentum),
+                            param, grads)
+    p_ref = _trajectory_ref(ref.sgd_update, param, grads,
+                            learning_rate=1e-2, momentum=momentum)
+    np.testing.assert_allclose(p_new, p_ref, rtol=1e-5, atol=1e-7)
+
+
+def test_rmsprop_trajectory_matches_reference():
+    rng = _rng(3)
+    param = rng.normal(size=(4, 4)).astype(np.float32)
+    grads = [rng.normal(size=param.shape).astype(np.float32)
+             for _ in range(5)]
+    p_new = _trajectory_new(RMSProp(learning_rate=1e-3), param, grads)
+    p_ref = _trajectory_ref(ref.rmsprop_update, param, grads,
+                            learning_rate=1e-3)
+    np.testing.assert_allclose(p_new, p_ref, rtol=1e-5, atol=1e-7)
+
+
+# ---------------------------------------------------------------------------
+# clipnorm: in-place scaling vs the copying reference
+# ---------------------------------------------------------------------------
+
+
+class _Slot:
+    def __init__(self, param, grad):
+        self.params = {"w": param}
+        self.grads = {"w": grad}
+
+
+class _Net:
+    def __init__(self, slots):
+        self._slots = slots
+
+    def trainable(self):
+        for i, slot in enumerate(self._slots):
+            yield f"t{i}", slot, "w"
+
+
+def test_clipnorm_step_matches_copying_reference():
+    rng = _rng(4)
+    params = [rng.normal(size=(8, 8)).astype(np.float32) for _ in range(3)]
+    grads = [10.0 * rng.normal(size=(8, 8)).astype(np.float32)
+             for _ in range(3)]
+
+    net = _Net([_Slot(p.copy(), g.copy()) for p, g in zip(params, grads)])
+    SGD(learning_rate=1e-2, clipnorm=1.0).step(net)
+
+    clipped = ref.clip_gradients([g.copy() for g in grads], 1.0)
+    for slot, p, g in zip(net._slots, params, clipped):
+        np.testing.assert_allclose(slot.params["w"], p - 1e-2 * g,
+                                   rtol=1e-5, atol=1e-7)
+
+
+def test_clipnorm_below_threshold_leaves_gradients_untouched():
+    rng = _rng(5)
+    g = 1e-3 * rng.normal(size=(4, 4)).astype(np.float32)
+    net = _Net([_Slot(np.zeros((4, 4), np.float32), g)])
+    SGD(learning_rate=1.0, clipnorm=1e9).step(net)
+    # under the threshold the step must not rescale (or copy) the grad
+    np.testing.assert_array_equal(net._slots[0].grads["w"], g)
+    np.testing.assert_allclose(net._slots[0].params["w"], -g)

@@ -71,3 +71,43 @@ def test_evaluate_matches_metric(space, problem, dataset):
     assert 0.0 <= acc <= 1.0
     assert acc == pytest.approx(
         evaluate(model, dataset.x_val, dataset.y_val, "accuracy"))
+
+
+def test_predict_batched_matches_full_forward(space, problem, dataset):
+    from repro.tensor import predict_batched
+
+    model = problem.build_model(space.validate_seq((1, 1, 0)), rng=0)
+    full = model.forward(dataset.x_val, training=False)
+    for bs in (1, 5, 16, 1000):   # uneven, tiny and larger-than-n chunks
+        np.testing.assert_allclose(
+            predict_batched(model, dataset.x_val, batch_size=bs), full,
+            rtol=1e-6, atol=1e-6)
+
+
+def test_evaluate_batched_equals_unbatched(space, problem, dataset):
+    model = problem.build_model(space.validate_seq((2, 1, 1)), rng=0)
+    whole = evaluate(model, dataset.x_val, dataset.y_val, "accuracy",
+                     batch_size=10**9)
+    chunked = evaluate(model, dataset.x_val, dataset.y_val, "accuracy",
+                       batch_size=7)
+    assert chunked == pytest.approx(whole)
+
+
+def test_evaluate_batched_multi_input_r2_exact():
+    """R^2 is not decomposable per batch — evaluate must hand the metric
+    the full concatenated prediction array, including multi-input x."""
+    from repro.apps import make_multisource_dataset
+    from repro.nas.problem import Problem
+    from repro.nas.space import SearchSpace
+    from repro.nas import DenseOp, IdentityOp
+
+    ds = make_multisource_dataset(n_train=32, n_val=24, dims=(6, 4),
+                                  seed=0)
+    space = SearchSpace("ms", tuple(s for s in ds.input_shapes))
+    space.add_variable("d0", [IdentityOp(), DenseOp(8, "relu")])
+    space.add_fixed(DenseOp(1), name="head")
+    prob = Problem("ms", space, ds, learning_rate=1e-2, batch_size=8)
+    model = prob.build_model(space.validate_seq((1,)), rng=0)
+    whole = evaluate(model, ds.x_val, ds.y_val, "r2", batch_size=10**9)
+    chunked = evaluate(model, ds.x_val, ds.y_val, "r2", batch_size=5)
+    assert chunked == pytest.approx(whole, rel=1e-6)
