@@ -1,0 +1,25 @@
+"""Static analysis for candidate graphs and repository invariants.
+
+Two halves:
+
+- **Graph analyzer** (:func:`analyze`): an abstract interpreter over
+  architecture sequences — symbolic shape/dtype propagation, parameter
+  and FLOP accounting, structural diagnostics — driven by the op
+  metadata registry in :mod:`repro.tensor`.  :class:`PreflightGate`
+  wraps it as the NAS loop's free validity check.
+- **Invariant linter** (:mod:`repro.analysis.lint`, run as
+  ``python -m repro.analysis.lint src/repro``): AST rules R001-R005
+  enforcing the repo's dtype discipline, frozen reference kernels,
+  allocation-free optimizer steps, lock-guarded cluster state, and
+  reference-kernel import hygiene.
+"""
+
+from .gate import GateStats, PreflightGate
+from .interp import ANALYZED_KINDS, analyze, register_handler
+from .report import Diagnostic, GraphReport, LayerReport
+
+__all__ = [
+    "analyze", "register_handler", "ANALYZED_KINDS",
+    "GraphReport", "LayerReport", "Diagnostic",
+    "PreflightGate", "GateStats",
+]

@@ -1,0 +1,428 @@
+"""Custom invariant linter: ``python -m repro.analysis.lint <paths>``.
+
+AST-based (stdlib ``ast`` only, no third-party dependencies) checks for
+this repository's hard-won invariants — conventions that profiling and
+debugging paid for, now machine-enforced:
+
+========  ============================================================
+ Rule      Invariant
+========  ============================================================
+ R001      No float64-promoting NumPy allocations: ``np.zeros`` /
+           ``np.ones`` / ``np.empty`` / ``np.full`` (and ``np.array``
+           of a literal) must pass an explicit ``dtype``; inside
+           ``repro/tensor`` hot paths, float64 dtypes themselves are
+           banned.
+ R002      ``repro/tensor/reference_ops.py`` is frozen — its content
+           hash must match the pinned SHA-256 (the perf-equivalence
+           baseline must never drift).
+ R003      Optimizer ``step`` bodies must not allocate: no
+           ``np.copy``/fresh-array/``.astype``/``.copy`` calls — all
+           updates go through ``out=`` ufuncs and reused scratch
+           buffers.
+ R004      Shared mutable state in ``repro/cluster`` (attributes named
+           in the module's ``_GUARDED_ATTRS``) may only be written
+           under the module's lock (a ``with ...lock...`` block).
+ R005      ``repro.tensor.reference_ops`` may only be imported from
+           tests and benchmarks — production code must never fall back
+           to the slow frozen kernels.
+========  ============================================================
+
+Suppression: append ``# lint: ignore[R001]`` (or a comma-separated
+list, or bare ``# lint: ignore``) to the offending line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import hashlib
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+#: SHA-256 pin of the frozen legacy kernels (R002).
+REFERENCE_OPS_SHA256 = (
+    "a32fb5287a3c1d7744ebc6fe31953ad08f98b708e66f929de83f803626c8de31"
+)
+
+#: NumPy calls that allocate fresh float64 arrays when dtype is omitted.
+_BARE_ALLOCATORS = frozenset({"zeros", "ones", "empty", "full"})
+#: Additional allocators banned inside optimizer ``step`` bodies (R003).
+_STEP_ALLOCATORS = _BARE_ALLOCATORS | {
+    "array", "copy", "zeros_like", "ones_like", "empty_like", "full_like",
+}
+#: Method calls that mutate a guarded container (R004).
+_MUTATORS = frozenset({
+    "pop", "popitem", "append", "appendleft", "popleft", "add", "remove",
+    "discard", "clear", "update", "setdefault", "extend", "insert",
+})
+_NUMPY_NAMES = frozenset({"np", "numpy"})
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9,\s]+)\])?")
+
+RULES = {
+    "R001": "dtype-unspecified / float64-promoting NumPy allocation",
+    "R002": "frozen reference_ops.py content drifted from its pin",
+    "R003": "allocation inside an optimizer step body",
+    "R004": "guarded shared state written outside the module lock",
+    "R005": "reference_ops imported outside tests/benchmarks",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _is_numpy_attr(node: ast.AST, names: Iterable[str]) -> Optional[str]:
+    """Return the attribute name when ``node`` is ``np.<attr>`` /
+    ``numpy.<attr>`` with ``attr`` in ``names``."""
+    if (isinstance(node, ast.Attribute) and node.attr in names
+            and isinstance(node.value, ast.Name)
+            and node.value.id in _NUMPY_NAMES):
+        return node.attr
+    return None
+
+
+def _has_dtype_kwarg(call: ast.Call) -> bool:
+    return any(kw.arg == "dtype" for kw in call.keywords)
+
+
+def _is_literal_payload(node: ast.AST) -> bool:
+    """First argument shapes for which ``np.array`` defaults to float64
+    (literals and comprehensions of Python floats); ``np.array`` over an
+    existing ndarray preserves its dtype and is fine."""
+    return isinstance(node, (ast.List, ast.Tuple, ast.Constant,
+                             ast.ListComp, ast.GeneratorExp))
+
+
+def _mentions_lock(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "lock" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "lock" in sub.attr.lower():
+            return True
+    return False
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """The ``X`` of a ``self.X`` or ``self.X[...]`` target."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name) and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+# ----------------------------------------------------------------------
+# per-rule visitors
+# ----------------------------------------------------------------------
+class _R001Visitor(ast.NodeVisitor):
+    """Bare allocators everywhere; float64 dtypes in tensor hot paths."""
+
+    def __init__(self, in_tensor_hot_path: bool):
+        self.in_tensor_hot_path = in_tensor_hot_path
+        self.findings: list[tuple[int, int, str]] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _is_numpy_attr(node.func, _BARE_ALLOCATORS | {"array"})
+        if name in _BARE_ALLOCATORS and not _has_dtype_kwarg(node):
+            self.findings.append((
+                node.lineno, node.col_offset,
+                f"np.{name} without dtype allocates float64; pass "
+                f"dtype=np.float32 (or an explicit dtype)"))
+        elif (name == "array" and not _has_dtype_kwarg(node)
+              and node.args and _is_literal_payload(node.args[0])):
+            self.findings.append((
+                node.lineno, node.col_offset,
+                "np.array of a literal without dtype builds a float64 "
+                "array; pass an explicit dtype"))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.in_tensor_hot_path and _is_numpy_attr(node, {"float64"}):
+            self.findings.append((
+                node.lineno, node.col_offset,
+                "float64 is banned in repro.tensor hot paths (dtype "
+                "discipline; see DESIGN.md)"))
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if self.in_tensor_hot_path and node.value == "float64":
+            self.findings.append((
+                node.lineno, node.col_offset,
+                "'float64' literal in a repro.tensor hot path"))
+
+
+class _R003Visitor(ast.NodeVisitor):
+    """Allocating calls inside functions named ``step``."""
+
+    def __init__(self):
+        self.findings: list[tuple[int, int, str]] = []
+        self._in_step = 0
+
+    def _visit_func(self, node) -> None:
+        is_step = node.name == "step"
+        self._in_step += is_step
+        self.generic_visit(node)
+        self._in_step -= is_step
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._in_step:
+            name = _is_numpy_attr(node.func, _STEP_ALLOCATORS)
+            if name is not None:
+                self.findings.append((
+                    node.lineno, node.col_offset,
+                    f"np.{name} allocates inside an optimizer step; use "
+                    f"out= ufuncs and reused scratch buffers"))
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr in ("copy", "astype")):
+                self.findings.append((
+                    node.lineno, node.col_offset,
+                    f".{node.func.attr}() allocates inside an optimizer "
+                    f"step; use out= ufuncs and reused scratch buffers"))
+        self.generic_visit(node)
+
+
+class _R004Visitor(ast.NodeVisitor):
+    """Writes to guarded ``self.<attr>`` outside a ``with ...lock`` block."""
+
+    def __init__(self, guarded: frozenset):
+        self.guarded = guarded
+        self.findings: list[tuple[int, int, str]] = []
+        self._lock_depth = 0
+        self._func_stack: list[str] = []
+
+    def _visit_func(self, node) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(_mentions_lock(item.context_expr) for item in node.items)
+        self._lock_depth += locked
+        self.generic_visit(node)
+        self._lock_depth -= locked
+
+    def _check_target(self, target: ast.AST, verb: str) -> None:
+        attr = _self_attr(target)
+        if (attr in self.guarded and self._lock_depth == 0
+                and "__init__" not in self._func_stack):
+            self.findings.append((
+                target.lineno, target.col_offset,
+                f"self.{attr} {verb} outside the module lock "
+                f"(guarded by _GUARDED_ATTRS)"))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, "assigned")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, "updated")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, "assigned")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target, "deleted")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            attr = _self_attr(func.value)
+            if (attr in self.guarded and self._lock_depth == 0
+                    and "__init__" not in self._func_stack):
+                self.findings.append((
+                    node.lineno, node.col_offset,
+                    f"self.{attr}.{func.attr}() mutates guarded state "
+                    f"outside the module lock"))
+        self.generic_visit(node)
+
+
+class _R005Visitor(ast.NodeVisitor):
+    """Any import path reaching ``reference_ops``."""
+
+    def __init__(self):
+        self.findings: list[tuple[int, int, str]] = []
+
+    def _flag(self, node: ast.AST) -> None:
+        self.findings.append((
+            node.lineno, node.col_offset,
+            "reference_ops (frozen slow kernels) may only be imported "
+            "from tests/ and benchmarks/"))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[-1] == "reference_ops":
+                self._flag(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module.split(".")[-1] == "reference_ops":
+            self._flag(node)
+        elif any(alias.name == "reference_ops" for alias in node.names):
+            self._flag(node)
+
+
+# ----------------------------------------------------------------------
+# file-level orchestration
+# ----------------------------------------------------------------------
+def _suppressed_lines(source: str) -> dict[int, Optional[frozenset]]:
+    """line -> set of suppressed codes (None = suppress everything)."""
+    out: dict[int, Optional[frozenset]] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _IGNORE_RE.search(line)
+        if not m:
+            continue
+        codes = m.group(1)
+        out[i] = (frozenset(c.strip().upper() for c in codes.split(","))
+                  if codes else None)
+    return out
+
+
+def _guarded_attrs(tree: ast.Module) -> frozenset:
+    """Top-level ``_GUARDED_ATTRS = ("a", "b")`` declaration, if any."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "_GUARDED_ATTRS":
+                try:
+                    value = ast.literal_eval(node.value)
+                except ValueError:
+                    return frozenset()
+                return frozenset(str(v) for v in value)
+    return frozenset()
+
+
+def lint_file(path: Path) -> list[Finding]:
+    """All findings for one Python file (suppressions already applied)."""
+    posix = path.as_posix()
+    in_tests = ("/tests/" in posix or "/benchmarks/" in posix
+                or path.name.startswith("test_")
+                or path.name == "conftest.py")
+    in_tensor = "repro/tensor/" in posix
+    is_reference = in_tensor and path.name == "reference_ops.py"
+
+    raw: list[tuple[str, int, int, str]] = []  # (code, line, col, message)
+
+    if is_reference:
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        if digest != REFERENCE_OPS_SHA256:
+            raw.append((
+                "R002", 1, 0,
+                f"reference_ops.py content hash {digest[:12]}... does not "
+                f"match the pin {REFERENCE_OPS_SHA256[:12]}... — the frozen "
+                f"kernels must not change (update the pin only with a "
+                f"re-validated perf baseline)"))
+        # frozen file: R001/R003 intentionally not applied
+        return [Finding(posix, line, col, code, msg)
+                for code, line, col, msg in raw]
+
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        return [Finding(posix, getattr(exc, "lineno", 1) or 1, 0, "R000",
+                        f"could not parse: {exc}")]
+
+    r001 = _R001Visitor(in_tensor_hot_path=in_tensor)
+    r001.visit(tree)
+    raw.extend(("R001", *f) for f in r001.findings)
+
+    if path.name == "optimizers.py" and "repro/tensor/" in posix:
+        r003 = _R003Visitor()
+        r003.visit(tree)
+        raw.extend(("R003", *f) for f in r003.findings)
+
+    if "repro/cluster/" in posix and path.name in (
+            "scheduler.py", "evaluator.py"):
+        guarded = _guarded_attrs(tree)
+        if guarded:
+            r004 = _R004Visitor(guarded)
+            r004.visit(tree)
+            raw.extend(("R004", *f) for f in r004.findings)
+
+    if not in_tests:
+        r005 = _R005Visitor()
+        r005.visit(tree)
+        raw.extend(("R005", *f) for f in r005.findings)
+
+    suppressed = _suppressed_lines(source)
+    findings = []
+    for code, line, col, msg in raw:
+        codes = suppressed.get(line, frozenset())
+        if codes is None or code in codes:
+            continue
+        findings.append(Finding(posix, line, col, code, msg))
+    return findings
+
+
+def lint_paths(paths: Sequence) -> list[Finding]:
+    """Lint files and directory trees; returns sorted findings."""
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Repository invariant linter (rules R001-R005).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, desc in sorted(RULES.items()):
+            print(f"{code}  {desc}")
+        return 0
+
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,7 +56,8 @@ def _smooth_template(rng, height, width, channels, coarse=3):
     (convolutional) structure genuinely helps."""
     grid = rng.normal(size=(coarse, coarse, channels))
     reps = (int(np.ceil(height / coarse)), int(np.ceil(width / coarse)), 1)
-    return np.kron(grid, np.ones((reps[0], reps[1], 1)))[:height, :width, :]
+    ones = np.ones((reps[0], reps[1], 1), dtype=DTYPE)
+    return np.kron(grid, ones)[:height, :width, :]
 
 
 def make_image_dataset(n_train=128, n_val=48, height=12, width=12,

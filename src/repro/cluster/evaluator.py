@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import concurrent.futures as cf
 import queue
+import threading
 from typing import Callable
+
+#: Attributes the R004 lint rule holds to the lock discipline: shared
+#: mutable state that both the submitting thread and any thread calling
+#: ``wait_any`` touch.  Every write must happen under ``self._lock``.
+_GUARDED_ATTRS = ("_futures",)
 
 
 class SerialEvaluator:
@@ -62,6 +68,9 @@ class _PoolEvaluator:
         self._futures: dict[cf.Future, int] = {}
         self._done: queue.SimpleQueue[cf.Future] = queue.SimpleQueue()
         self._next = 0
+        # guards _futures: several scheduler threads may submit/drain the
+        # same evaluator concurrently (see _GUARDED_ATTRS / lint R004)
+        self._lock = threading.Lock()
 
     def submit(self, task: Callable[[], object]) -> int:
         ticket = self._next
@@ -69,7 +78,8 @@ class _PoolEvaluator:
         fut = self._pool.submit(task)
         # register before wiring the callback so a task that finishes
         # instantly still finds its ticket in wait_any
-        self._futures[fut] = ticket
+        with self._lock:
+            self._futures[fut] = ticket
         fut.add_done_callback(self._done.put)
         return ticket
 
@@ -77,7 +87,8 @@ class _PoolEvaluator:
         if not self._futures:
             raise RuntimeError("no pending tasks")
         fut = self._done.get()
-        ticket = self._futures.pop(fut)
+        with self._lock:
+            ticket = self._futures.pop(fut)
         return ticket, fut.result()
 
     @property

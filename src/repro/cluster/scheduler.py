@@ -42,13 +42,26 @@ def _evaluate_task(problem, arch_seq, seed, provider_weights, matcher,
 def run_search(problem, strategy, num_candidates: int, *,
                scheme: str = "baseline", store=None, evaluator=None,
                provider_policy="parent", seed: int = 0,
-               name: Optional[str] = None) -> Trace:
-    """Run one NAS estimation phase; returns the completed :class:`Trace`."""
+               static_gate=None, name: Optional[str] = None) -> Trace:
+    """Run one NAS estimation phase; returns the completed :class:`Trace`.
+
+    ``static_gate`` enables pre-flight static screening: pass ``True``
+    to construct a :class:`repro.analysis.PreflightGate` over the
+    problem's space, or pass a configured gate instance.  The gate is
+    attached to the strategy (unless it already has one) so every
+    proposal is shape/dtype-checked before an evaluator sees it; its
+    rejection stats land in ``trace.static_stats``.
+    """
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}, expected {SCHEMES}")
     transfers = scheme != "baseline"
     if transfers and store is None:
         raise ValueError(f"scheme {scheme!r} needs a checkpoint store")
+    if static_gate is True:
+        from ..analysis import PreflightGate
+        static_gate = PreflightGate(problem.space)
+    if static_gate is not None and strategy.gate is None:
+        strategy.gate = static_gate
     policy = get_policy(provider_policy, space=problem.space)
     evaluator = evaluator or SerialEvaluator()
     rng = np.random.default_rng(seed)
@@ -112,4 +125,7 @@ def run_search(problem, strategy, num_candidates: int, *,
         while submitted < num_candidates and evaluator.in_flight < max_in_flight:
             submit_one()
         complete_one()
+    gate = getattr(strategy, "gate", None)
+    if gate is not None:
+        trace.static_stats = gate.stats.as_dict()
     return trace

@@ -47,6 +47,9 @@ class Trace:
     name: str = "trace"
     scheme: str = "baseline"
     records: list = field(default_factory=list)
+    #: pre-flight gate accounting (checked/admitted/rejected/by_code)
+    #: when the search ran with static screening; None otherwise
+    static_stats: Optional[dict] = None
 
     def append(self, record: TraceRecord) -> None:
         self.records.append(record)
@@ -88,8 +91,10 @@ class Trace:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w") as fh:
-            fh.write(json.dumps({"name": self.name, "scheme": self.scheme})
-                     + "\n")
+            header = {"name": self.name, "scheme": self.scheme}
+            if self.static_stats is not None:
+                header["static_stats"] = self.static_stats
+            fh.write(json.dumps(header) + "\n")
             for r in self.records:
                 fh.write(json.dumps(asdict(r)) + "\n")
         return path
@@ -98,7 +103,8 @@ class Trace:
     def load_jsonl(cls, path) -> "Trace":
         with open(path) as fh:
             header = json.loads(fh.readline())
-            trace = cls(name=header["name"], scheme=header["scheme"])
+            trace = cls(name=header["name"], scheme=header["scheme"],
+                        static_stats=header.get("static_stats"))
             for line in fh:
                 d = json.loads(line)
                 d["arch_seq"] = tuple(d["arch_seq"])

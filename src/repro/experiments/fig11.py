@@ -34,7 +34,8 @@ def run_fig11(ctx) -> Fig11Result:
     for app in ctx.config.apps:
         ctx.trace(app, "lcs")        # ensure the run (and its store) exists
         store = ctx.store(app, "lcs")
-        sizes = np.array([store.nbytes(k) for k in store.keys()])
+        sizes = np.array([store.nbytes(k) for k in store.keys()],
+                         dtype=np.float64)
         rows.append(Fig11Row(
             app=app, n_checkpoints=int(sizes.size),
             mean_bytes=float(sizes.mean()) if sizes.size else 0.0,

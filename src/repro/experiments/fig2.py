@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..transfer.shapeseq import shape_sequence
+from ..transfer.shapeseq import arch_shape_sequence
 from .report import pct, text_table
 
 
@@ -31,9 +31,10 @@ def run_fig2(ctx) -> Fig2Result:
         shared = 0
         n = ctx.config.n_pairs_fig2
         for _ in range(n):
-            a = space.build_network(space.sample(rng), rng)
-            b = space.build_network(space.sample(rng), rng)
-            if set(shape_sequence(a)) & set(shape_sequence(b)):
+            # static shape sequences: no weight tensors are ever allocated
+            a = arch_shape_sequence(space, space.sample(rng))
+            b = arch_shape_sequence(space, space.sample(rng))
+            if set(a) & set(b):
                 shared += 1
         rows.append(Fig2Row(app=app, n_pairs=n,
                             shareable_fraction=shared / n))

@@ -35,8 +35,9 @@ class Table3Result:
 def run_table3(ctx) -> Table3Result:
     rows = []
     for (app, scheme), rs in full_train_top(ctx).items():
-        full = np.array([r.score for r in rs])
-        early = np.array([r.early_stopped_score for r in rs])
+        full = np.array([r.score for r in rs], dtype=np.float64)
+        early = np.array([r.early_stopped_score for r in rs],
+                         dtype=np.float64)
         rows.append(Table3Row(
             app=app, scheme=scheme, n_models=len(rs),
             fully_trained_mean=float(full.mean()),

@@ -35,7 +35,7 @@ class Table4Result:
 def run_table4(ctx) -> Table4Result:
     rows = []
     for (app, scheme), rs in full_train_top(ctx).items():
-        params = np.array([r.num_params for r in rs])
+        params = np.array([r.num_params for r in rs], dtype=np.float64)
         rows.append(Table4Row(
             app=app, scheme=scheme, n_models=len(rs),
             mean_params=float(params.mean()),

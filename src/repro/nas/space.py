@@ -177,6 +177,15 @@ class SearchSpace:
             out.append((node, op))
         return out
 
+    def chosen_ops(self, arch_seq) -> list[tuple[str, tuple, Op]]:
+        """``(node_name, parent_refs, chosen_op)`` per node, in the
+        topological (insertion) order ``build_network`` materialises —
+        the substrate :func:`repro.analysis.analyze` interprets."""
+        return [
+            (node.name, tuple(node.parents), op)
+            for node, op in self._chosen_ops(arch_seq)
+        ]
+
     def build_network(self, arch_seq, rng=None, name: Optional[str] = None
                       ) -> Network:
         """Instantiate and build the candidate network for ``arch_seq``."""

@@ -15,8 +15,8 @@ from .base import Proposal, Strategy
 
 class SurrogateSearch(Strategy):
     def __init__(self, space, rng=None, pool_size: int = 32, k: int = 3,
-                 warmup: int = 8, explore: float = 0.1):
-        super().__init__(space, rng)
+                 warmup: int = 8, explore: float = 0.1, gate=None):
+        super().__init__(space, rng, gate=gate)
         self.pool_size = pool_size
         self.k = k
         self.warmup = warmup
@@ -28,8 +28,9 @@ class SurrogateSearch(Strategy):
         dists = np.array([
             self.space.distance(arch_seq, seq)
             for _, seq, _ in self._evaluated
-        ])
-        scores = np.array([s for _, _, s in self._evaluated])
+        ], dtype=np.float64)
+        scores = np.array([s for _, _, s in self._evaluated],
+                          dtype=np.float64)
         nearest = np.argsort(dists)[: self.k]
         weights = 1.0 / (1.0 + dists[nearest])
         return float(np.average(scores[nearest], weights=weights))
@@ -43,8 +44,15 @@ class SurrogateSearch(Strategy):
         self._asked += 1
         if self._asked <= self.warmup or not self._evaluated or \
                 self.rng.random() < self.explore:
-            return Proposal(self.space.sample(self.rng))
+            return self._admit(lambda: Proposal(self.space.sample(self.rng)))
         pool = [self.space.sample(self.rng) for _ in range(self.pool_size)]
+        if self.gate is not None:
+            # statically invalid pool members never reach the surrogate;
+            # an all-invalid pool falls back to gated random sampling
+            pool = [s for s in pool if self.gate.admits(s)]
+            if not pool:
+                return self._admit(
+                    lambda: Proposal(self.space.sample(self.rng)))
         best = max(pool, key=self._predict)
         return Proposal(best, parent_id=self._nearest_id(best))
 

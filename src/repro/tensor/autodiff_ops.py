@@ -268,8 +268,10 @@ def batchnorm_backward(gout, cache):
 
 
 def dropout_forward(x, rate, rng):
-    draw_dtype = x.dtype if x.dtype in (np.float32, np.float64) \
-        else np.float64
+    # rng.random only draws float32/float64; the float64 fallback is a
+    # dtype *decision* for non-float inputs, not a hot-path promotion
+    floats = (np.float32, np.float64)  # lint: ignore[R001]
+    draw_dtype = x.dtype if x.dtype in floats else np.float64  # lint: ignore[R001]
     mask = (rng.random(x.shape, dtype=draw_dtype) >= rate).astype(x.dtype)
     mask *= 1.0 / (1.0 - rate)
     return x * mask, mask

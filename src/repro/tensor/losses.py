@@ -56,8 +56,9 @@ def accuracy(logits, onehot) -> float:
 
 
 def r2(pred, y) -> float:
-    y = np.asarray(y, dtype=np.float64)
-    pred = np.asarray(pred, dtype=np.float64)
+    # metric path, not training: float64 accumulation keeps R^2 stable
+    y = np.asarray(y, dtype=np.float64)          # lint: ignore[R001]
+    pred = np.asarray(pred, dtype=np.float64)    # lint: ignore[R001]
     ss_res = float(np.sum((y - pred) ** 2))
     ss_tot = float(np.sum((y - y.mean()) ** 2))
     if ss_tot == 0.0:

@@ -9,12 +9,18 @@ from .policy import (
     RandomProvider,
     get_policy,
 )
-from .shapeseq import format_sequence, group_layers, shape_sequence
+from .shapeseq import (
+    arch_shape_sequence,
+    format_sequence,
+    group_layers,
+    shape_sequence,
+)
 from .transfer import TransferStats, transfer_weights
 
 __all__ = [
     "Match", "lcs_match", "longest_prefix_match", "get_matcher",
-    "shape_sequence", "group_layers", "format_sequence",
+    "shape_sequence", "arch_shape_sequence", "group_layers",
+    "format_sequence",
     "TransferStats", "transfer_weights", "partial_transfer_weights",
     "ProviderPolicy", "ParentProvider", "NearestProvider", "RandomProvider",
     "get_policy",

@@ -13,6 +13,7 @@ in both coordinates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Sequence, Union
 
 
 @dataclass(frozen=True)
@@ -35,7 +36,7 @@ class Match:
         return bool(self.pairs)
 
 
-def longest_prefix_match(a, b) -> Match:
+def longest_prefix_match(a: Sequence, b: Sequence) -> Match:
     """Match the longest common *prefix* of sequences ``a`` and ``b``."""
     n = min(len(a), len(b))
     pairs = []
@@ -46,7 +47,7 @@ def longest_prefix_match(a, b) -> Match:
     return Match(tuple(pairs))
 
 
-def lcs_match(a, b) -> Match:
+def lcs_match(a: Sequence, b: Sequence) -> Match:
     """Longest common subsequence (Wagner–Fischer DP + backtrack).
 
     Ties are broken toward matching the *earliest* provider layers, which
@@ -80,10 +81,10 @@ def lcs_match(a, b) -> Match:
     return Match(tuple(pairs))
 
 
-MATCHERS = {"lp": longest_prefix_match, "lcs": lcs_match}
+MATCHERS: dict = {"lp": longest_prefix_match, "lcs": lcs_match}
 
 
-def get_matcher(name):
+def get_matcher(name: Union[str, Callable]) -> Callable[[Sequence, Sequence], Match]:
     if callable(name):
         return name
     try:

@@ -11,6 +11,8 @@ coverage helps.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from .matching import lcs_match
@@ -18,7 +20,7 @@ from .shapeseq import group_layers
 from .transfer import TransferStats, transfer_weights
 
 
-def _compatible(sig_a, sig_b) -> bool:
+def _compatible(sig_a: tuple, sig_b: tuple) -> bool:
     if len(sig_a) != len(sig_b):
         return False
     return all(len(sa) == len(sb) for sa, sb in zip(sig_a, sig_b))
@@ -30,7 +32,9 @@ def _copy_overlap(src: np.ndarray, dst: np.ndarray) -> int:
     return int(np.prod([s.stop for s in window])) if window else int(src.size)
 
 
-def partial_transfer_weights(receiver, provider_weights) -> TransferStats:
+def partial_transfer_weights(receiver,
+                             provider_weights: Mapping[str, np.ndarray]
+                             ) -> TransferStats:
     """Exact LCS transfer, then overlap-copy compatible unmatched layers.
 
     Unmatched provider/receiver layers are aligned greedily in sequence

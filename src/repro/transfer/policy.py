@@ -10,7 +10,7 @@ candidate id of the provider, or ``None`` for a cold start, where
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -59,7 +59,8 @@ class RandomProvider(ProviderPolicy):
         return ok[int(rng.integers(len(ok)))].candidate_id
 
 
-def get_policy(name_or_policy, space=None) -> ProviderPolicy:
+def get_policy(name_or_policy: Union[str, ProviderPolicy],
+               space=None) -> ProviderPolicy:
     if isinstance(name_or_policy, ProviderPolicy):
         return name_or_policy
     if name_or_policy == "parent":

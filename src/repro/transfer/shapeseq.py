@@ -9,11 +9,17 @@ DESIGN.md records why the sequence is layer-level rather than raw-tensor
 level: matching whole layers keeps biases and batch-norm statistics
 attached to their kernels, and stops the ubiquitous head-bias shape from
 making every pair "shareable" (which would collapse Figure 2 to 100%).
+
+:func:`arch_shape_sequence` derives the sequence *statically* from an
+architecture sequence via :func:`repro.analysis.analyze` — no network
+instantiation, no tensor allocation — and LRU-caches the result, so
+LP/LCS matching inside the search loop never pays a build.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from functools import lru_cache
+from typing import Mapping, Sequence, Union
 
 import numpy as np
 
@@ -31,7 +37,38 @@ def shape_sequence(model_or_weights) -> ShapeSequence:
     return tuple(sig for _, sig in group_layers(model_or_weights))
 
 
-def group_layers(weights) -> list[tuple[list[str], Signature]]:
+def arch_shape_sequence(space, arch_seq) -> ShapeSequence:
+    """Shape sequence of candidate ``arch_seq``, statically inferred.
+
+    Identical to ``shape_sequence(space.build_network(arch_seq))`` (the
+    cross-validation tests pin this) but never instantiates the network.
+    Raises ``ValueError`` when the candidate is statically invalid —
+    the same architectures for which ``build_network`` raises
+    ``BuildError``.  Cached by ``(space, arch_seq)`` identity.
+    """
+    return _arch_shape_sequence(space, space.validate_seq(arch_seq))
+
+
+@lru_cache(maxsize=4096)
+def _arch_shape_sequence(space, arch_seq: tuple) -> ShapeSequence:
+    from ..analysis import analyze
+
+    report = analyze(space, arch_seq)
+    if not report.ok:
+        raise ValueError(
+            f"statically invalid architecture {arch_seq}: "
+            + "; ".join(str(d) for d in report.errors())
+        )
+    return report.shape_sequence
+
+
+def arch_shape_sequence_cache_info():
+    """Cache statistics of the static shape-sequence LRU."""
+    return _arch_shape_sequence.cache_info()
+
+
+def group_layers(weights: Mapping[str, np.ndarray]
+                 ) -> list[tuple[list[str], Signature]]:
     """Group an ordered ``{"layer.param": array}`` mapping back into
     layers: consecutive entries sharing the ``layer`` prefix.
 

@@ -10,10 +10,12 @@ selective scheme.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Mapping, Union
 
 import numpy as np
 
-from .matching import get_matcher
+from .matching import MATCHERS, Match, get_matcher
 from .shapeseq import group_layers
 
 
@@ -43,7 +45,26 @@ class TransferStats:
         return self.num_transferred > 0
 
 
-def transfer_weights(receiver, provider_weights, matcher="lcs") -> TransferStats:
+@lru_cache(maxsize=4096)
+def _cached_match(matcher_name: str, provider_seq: tuple,
+                  receiver_seq: tuple) -> Match:
+    """Alignments memoized by (matcher, shape sequences).
+
+    Shape sequences are hashable tuples-of-tuples (the analyzer's
+    ``signature_key`` digests the same payload), and search loops
+    re-match the same provider/receiver shapes constantly — evolution
+    mutates one node at a time, so sequences repeat across the run.
+    """
+    return MATCHERS[matcher_name](provider_seq, receiver_seq)
+
+
+def match_cache_info():
+    """Cache statistics of the LP/LCS match LRU."""
+    return _cached_match.cache_info()
+
+
+def transfer_weights(receiver, provider_weights: Mapping[str, np.ndarray],
+                     matcher: Union[str, Callable] = "lcs") -> TransferStats:
     """Copy matched layers of ``provider_weights`` into ``receiver``.
 
     ``receiver`` — a built Network; ``provider_weights`` — an ordered
@@ -72,7 +93,10 @@ def transfer_weights(receiver, provider_weights, matcher="lcs") -> TransferStats
         ),
     )
 
-    match = matcher_fn(provider_seq, receiver_seq)
+    if isinstance(matcher, str) and matcher in MATCHERS:
+        match = _cached_match(matcher, provider_seq, receiver_seq)
+    else:
+        match = matcher_fn(provider_seq, receiver_seq)
     moved_names = []
     for i, j in match.pairs:
         src_names, _ = provider_groups[i]

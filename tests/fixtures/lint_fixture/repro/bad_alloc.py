@@ -1,0 +1,7 @@
+"""Fixture: one R001 violation (bare np.zeros without dtype)."""
+
+import numpy as np
+
+
+def make_buffer():
+    return np.zeros((4, 4))

@@ -1,0 +1,18 @@
+"""Fixture: one R004 violation (guarded attr written outside the lock)."""
+
+import threading
+
+_GUARDED_ATTRS = ("_futures",)
+
+
+class BadEvaluator:
+    def __init__(self):
+        self._futures = {}
+        self._lock = threading.Lock()
+
+    def submit(self, fut, ticket):
+        self._futures[fut] = ticket  # not under self._lock
+
+    def drain(self, fut):
+        with self._lock:
+            return self._futures.pop(fut)

@@ -1,0 +1,7 @@
+"""Fixture: a would-be R001 violation silenced by a suppression comment."""
+
+import numpy as np
+
+
+def make_scratch():
+    return np.zeros((2, 2))  # lint: ignore[R001]

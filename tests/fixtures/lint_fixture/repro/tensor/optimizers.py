@@ -1,0 +1,12 @@
+"""Fixture: one R003 violation (allocation inside an optimizer step)."""
+
+import numpy as np
+
+
+class BadSGD:
+    def __init__(self, lr):
+        self.lr = lr
+
+    def step(self, params, grads):
+        for name, g in grads.items():
+            params[name] = params[name] - self.lr * np.zeros_like(g)

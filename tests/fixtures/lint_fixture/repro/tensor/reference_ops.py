@@ -1,0 +1,5 @@
+"""Fixture: drifted copy of the frozen kernels (R002 hash mismatch)."""
+
+
+def conv2d(x, w):
+    return x * w  # not the pinned implementation

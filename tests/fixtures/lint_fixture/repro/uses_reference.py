@@ -1,0 +1,7 @@
+"""Fixture: one R005 violation (reference_ops import in production code)."""
+
+from repro.tensor import reference_ops  # noqa: F401
+
+
+def slow_conv(x, w):
+    return reference_ops.conv2d(x, w)

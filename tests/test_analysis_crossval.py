@@ -1,0 +1,49 @@
+"""Cross-validation: the analyzer's static predictions must agree exactly
+with the instantiated network, over random architectures of every
+application space — shapes, dtypes, per-layer and total parameter counts,
+and the real forward pass's output shape."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze
+from repro.apps import APPS
+from repro.transfer import shape_sequence
+
+N_ARCHS = 50
+BATCH = 4
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_analyzer_matches_instantiated_network(app):
+    problem = APPS[app].problem(seed=0)
+    space = problem.space
+    rng = np.random.default_rng(1234)
+
+    xs = problem.dataset.x_train
+    multi = isinstance(xs, (list, tuple))
+    batch = ([np.asarray(x[:BATCH]) for x in xs] if multi
+             else np.asarray(xs[:BATCH]))
+
+    for _ in range(N_ARCHS):
+        seq = space.sample(rng)
+        report = analyze(space, seq)
+        assert report.ok, f"{app} {seq}: {report.summary()}"
+
+        net = problem.build_model(seq, rng=0)
+        assert report.shape_sequence == shape_sequence(net)
+        assert report.total_params == net.num_parameters()
+
+        param_layers = [layer for layer in report.layers if layer.signature]
+        real_layers = net.parameterized_layers()
+        # built layers are named "<node>_<kind>" via op.layer_name
+        assert len(param_layers) == len(real_layers)
+        for pred, real in zip(param_layers, real_layers):
+            assert real.name.startswith(pred.node)
+        assert [layer.num_params for layer in param_layers] == [
+            layer.num_parameters for layer in real_layers]
+
+        out = net.forward(batch)
+        assert out.shape == (BATCH,) + report.output_shape
+        assert out.dtype == np.float32
+        assert report.output_dtype == "float32"

@@ -1,0 +1,80 @@
+"""The invariant linter: fixture violations, suppression, clean tree.
+
+Fixtures are copied to a tmp dir before linting because rule scoping is
+path-based — under ``tests/`` the linter deliberately relaxes R005."""
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES, lint_paths, main
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURE = Path(__file__).parent / "fixtures" / "lint_fixture"
+
+
+@pytest.fixture()
+def fixture_tree(tmp_path):
+    dst = tmp_path / "fixture"
+    shutil.copytree(FIXTURE, dst)
+    return dst
+
+
+def test_fixture_triggers_every_rule(fixture_tree):
+    findings = lint_paths([fixture_tree])
+    assert {f.code for f in findings} == set(RULES)
+
+
+@pytest.mark.parametrize("rel, code", [
+    ("bad_alloc.py", "R001"),
+    ("tensor/reference_ops.py", "R002"),
+    ("tensor/optimizers.py", "R003"),
+    ("cluster/evaluator.py", "R004"),
+    ("uses_reference.py", "R005"),
+])
+def test_each_fixture_file_yields_exactly_its_rule(fixture_tree, rel, code):
+    findings = lint_paths([fixture_tree / "repro" / rel])
+    assert [f.code for f in findings] == [code]
+
+
+def test_suppression_comment_silences_finding(fixture_tree):
+    assert lint_paths([fixture_tree / "repro" / "suppressed.py"]) == []
+
+
+def test_findings_carry_location_and_message(fixture_tree):
+    finding, = lint_paths([fixture_tree / "repro" / "bad_alloc.py"])
+    assert finding.line == 7
+    assert "dtype" in finding.message
+    assert str(finding).startswith(finding.path)
+
+
+def test_main_exit_codes(fixture_tree, capsys):
+    assert main([str(fixture_tree)]) == 1
+    assert "R002" in capsys.readouterr().out
+    assert main([str(fixture_tree / "repro" / "suppressed.py")]) == 0
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+
+
+def test_src_tree_is_clean():
+    findings = lint_paths([REPO / "src" / "repro"])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_module_cli_entrypoint():
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint",
+         str(REPO / "src" / "repro")],
+        env=env, capture_output=True, text=True, cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

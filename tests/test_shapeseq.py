@@ -1,8 +1,16 @@
 """Shape sequences: layer-level signatures from models and weight dicts."""
 
 import numpy as np
+import pytest
 
-from repro.transfer import format_sequence, group_layers, shape_sequence
+from repro.nas import Conv2DOp, DenseOp, FlattenOp, IdentityOp, SearchSpace
+from repro.transfer import (
+    arch_shape_sequence,
+    format_sequence,
+    group_layers,
+    shape_sequence,
+)
+from repro.transfer.shapeseq import arch_shape_sequence_cache_info
 
 
 def test_shape_sequence_of_model_is_layer_level(space, problem):
@@ -39,6 +47,34 @@ def test_group_layers_groups_by_prefix():
 def test_identity_nodes_do_not_appear_in_sequence(space, problem):
     all_identity = problem.build_model(space.validate_seq((0, 0, 0)), rng=0)
     assert len(shape_sequence(all_identity)) == 1   # only the head
+
+
+def test_arch_shape_sequence_matches_build_path(space, problem):
+    rng = np.random.default_rng(7)
+    for _ in range(20):
+        seq = space.sample(rng)
+        model = problem.build_model(seq, rng=0)
+        assert arch_shape_sequence(space, seq) == shape_sequence(model)
+
+
+def test_arch_shape_sequence_is_cached(space):
+    seq = space.validate_seq((1, 1, 1))
+    first = arch_shape_sequence(space, seq)
+    hits_before = arch_shape_sequence_cache_info().hits
+    second = arch_shape_sequence(space, seq)
+    assert second is first  # LRU returns the identical tuple
+    assert arch_shape_sequence_cache_info().hits == hits_before + 1
+
+
+def test_arch_shape_sequence_rejects_invalid_geometry():
+    space = SearchSpace("bad-geometry", (4, 4, 1))
+    space.add_variable("conv", [
+        IdentityOp(), Conv2DOp(2, 5, padding="valid"),
+    ])
+    space.add_fixed(FlattenOp(), name="flatten")
+    space.add_fixed(DenseOp(2), name="head")
+    with pytest.raises(ValueError, match="conv"):
+        arch_shape_sequence(space, (1,))
 
 
 def test_format_sequence_one_line_per_layer(space, problem):
