@@ -1,0 +1,240 @@
+"""Checkpoint I/O benchmark cases: cache, write-behind, transport, e2e.
+
+Each case compares the synchronous paper configuration (every provider
+load and candidate save blocks the scheduler) against the fast path
+introduced by the weight cache / prefetcher / write-behind writer /
+zero-copy transport.  The cases are self-contained: they build their
+own stores in temp directories and use a checkpoint payload sized like
+a small real candidate (~1 MB) so I/O cost is measurable next to the
+tiny reproduction-scale training runs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.apps import make_image_dataset
+from repro.checkpoint import (
+    AsyncCheckpointWriter,
+    CheckpointStore,
+    WeightCache,
+    weights_nbytes,
+)
+from repro.cluster import ThreadPoolEvaluator, run_search
+from repro.cluster.transport import (
+    MmapFileTransport,
+    SharedMemoryTransport,
+    load_handle_weights,
+)
+from repro.nas import (
+    ActivationOp,
+    DenseOp,
+    FlattenOp,
+    IdentityOp,
+    Problem,
+    RegularizedEvolution,
+    SearchSpace,
+)
+
+from .timing import bench_ms
+
+SEED = 0
+
+
+def bench_weights(units: int = 512, seed: int = SEED) -> dict:
+    """A ~1 MB named-tensor dict shaped like a small dense candidate."""
+    rng = np.random.default_rng(seed)
+    return {
+        "dense0.kernel": rng.normal(size=(72, units)).astype(np.float32),
+        "dense0.bias": np.zeros(units, dtype=np.float32),
+        "dense1.kernel": rng.normal(size=(units, units)).astype(np.float32),
+        "dense1.bias": np.zeros(units, dtype=np.float32),
+        "head.kernel": rng.normal(size=(units, 4)).astype(np.float32),
+        "head.bias": np.zeros(4, dtype=np.float32),
+    }
+
+
+# ---------------------------------------------------------------------------
+# micro cases
+# ---------------------------------------------------------------------------
+
+
+def cold_vs_cached_load_case(rounds, warmup):
+    """store.load (npz parse + alloc every time) vs WeightCache.get."""
+    w = bench_weights()
+    tmp = tempfile.mkdtemp(prefix="bench-io-")
+    try:
+        store = CheckpointStore(tmp, compress=True)
+        store.save("prov", w)
+        cache = WeightCache()
+        cache.put("prov", w)
+
+        cold = bench_ms(lambda: store.load("prov"),
+                        rounds=rounds, warmup=warmup)
+        cached = bench_ms(lambda: cache.get("prov"),
+                          rounds=rounds, warmup=warmup)
+        return {
+            "payload_bytes": weights_nbytes(w),
+            "ckpt_bytes": store.nbytes("prov"),
+            "cold_ms": round(cold, 4),
+            "cached_ms": round(cached, 5),
+            "speedup": round(cold / cached, 1),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def write_behind_save_case(rounds, warmup):
+    """Blocking cost of a candidate save: sync npz write vs async
+    enqueue (snapshot copy only; the write drains in the background)."""
+    w = bench_weights()
+    tmp = tempfile.mkdtemp(prefix="bench-io-")
+    try:
+        store = CheckpointStore(tmp, compress=True)
+        sync = bench_ms(lambda: store.save("k", w),
+                        rounds=rounds, warmup=warmup)
+        writer = AsyncCheckpointWriter(store, max_queue=2 * (rounds + warmup))
+        enqueue = bench_ms(lambda: writer.save("k", w),
+                           rounds=rounds, warmup=warmup)
+        t0 = time.perf_counter()
+        writer.close()                     # drain everything we enqueued
+        drain = time.perf_counter() - t0
+        return {
+            "payload_bytes": weights_nbytes(w),
+            "sync_save_ms": round(sync, 4),
+            "enqueue_blocked_ms": round(enqueue, 4),
+            "hidden_factor": round(sync / enqueue, 1),
+            "drain_ms_total": round(drain * 1e3, 3),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def transport_vs_pickle_case(rounds, warmup):
+    """Shipping provider weights to a pool worker: full pickle round
+    trip per task vs publish-once + tiny handle + cached attach."""
+    w = bench_weights()
+    payload = pickle.dumps(w)
+
+    def pickle_round_trip():
+        return pickle.loads(pickle.dumps(w))
+
+    pickle_ms = bench_ms(pickle_round_trip, rounds=rounds, warmup=warmup)
+
+    try:
+        transport = SharedMemoryTransport()
+        probe = transport.publish("__probe__", {"p": np.zeros(1, dtype=np.uint8)})
+        load_handle_weights(probe)
+        transport.release("__probe__")
+    except Exception:                      # /dev/shm unavailable
+        transport = MmapFileTransport()
+    with transport:
+        t0 = time.perf_counter()
+        handle = transport.publish("prov", w)
+        publish_ms = (time.perf_counter() - t0) * 1e3
+        handle_bytes = len(pickle.dumps(handle))
+        attach_ms = bench_ms(lambda: load_handle_weights(handle),
+                             rounds=rounds, warmup=warmup)
+        return {
+            "kind": transport.kind,
+            "payload_bytes": weights_nbytes(w),
+            "pickle_bytes": len(payload),
+            "handle_bytes": handle_bytes,
+            "bytes_reduction": round(len(payload) / handle_bytes, 1),
+            "pickle_round_trip_ms": round(pickle_ms, 4),
+            "publish_once_ms": round(publish_ms, 4),
+            "attach_cached_ms": round(attach_ms, 5),
+            "speedup_per_task": round(pickle_ms / attach_ms, 1),
+        }
+
+
+IO_MICRO_CASES = {
+    "cold_vs_cached_load": cold_vs_cached_load_case,
+    "write_behind_save": write_behind_save_case,
+    "transport_vs_pickle": transport_vs_pickle_case,
+}
+
+
+# ---------------------------------------------------------------------------
+# e2e case: run_search scheme="lcs" on a 4-worker evaluator
+# ---------------------------------------------------------------------------
+
+
+def _bench_problem():
+    """Tiny real-training problem whose checkpoints are ~1 MB, so
+    checkpoint I/O is a visible share of the candidate turnaround."""
+    space = SearchSpace("bench-io", (6, 6, 2))
+    space.add_fixed(FlattenOp(), name="flatten")
+    space.add_variable("dense0", [
+        DenseOp(256, "relu"), DenseOp(384, "relu"), DenseOp(512, "relu"),
+    ])
+    space.add_variable("act0", [IdentityOp(), ActivationOp("relu")])
+    space.add_variable("dense1", [DenseOp(256, "relu"), DenseOp(512, "relu")])
+    space.add_fixed(DenseOp(4), name="head")
+    ds = make_image_dataset(n_train=64, n_val=32, height=6, width=6,
+                            channels=2, classes=4, seed=SEED)
+    return Problem("bench-io", space, ds, learning_rate=1e-2, batch_size=32,
+                   estimation_epochs=1, max_epochs=3, es_min_epochs=2)
+
+
+def _one_search(problem, root, num_candidates, workers, **kw):
+    store = CheckpointStore(root, compress=True)
+    strategy = RegularizedEvolution(problem.space, rng=SEED,
+                                    population_size=6, sample_size=3)
+    evaluator = ThreadPoolEvaluator(num_workers=workers)
+    try:
+        t0 = time.perf_counter()
+        trace = run_search(problem, strategy, num_candidates, scheme="lcs",
+                           store=store, seed=SEED, evaluator=evaluator, **kw)
+        wall = time.perf_counter() - t0
+    finally:
+        evaluator.close()
+    return trace, wall
+
+
+def e2e_search_case(num_candidates=24, workers=4):
+    """Sync vs fast-path run_search: wall clock + per-record I/O split."""
+    problem = _bench_problem()
+    tmp = tempfile.mkdtemp(prefix="bench-io-e2e-")
+    try:
+        sync_trace, sync_wall = _one_search(
+            problem, tmp + "/sync", num_candidates, workers)
+        fast_trace, fast_wall = _one_search(
+            problem, tmp + "/fast", num_candidates, workers,
+            cache=True, prefetch=True, async_io=True)
+
+        def mean(vals):
+            vals = list(vals)
+            return sum(vals) / len(vals) if vals else 0.0
+
+        return {
+            "workload": (f"lcs evolution, {num_candidates} candidates, "
+                         f"{workers}-worker ThreadPoolEvaluator, "
+                         f"compressed ~1MB checkpoints"),
+            "num_candidates": num_candidates,
+            "workers": workers,
+            "sync_wall_s": round(sync_wall, 3),
+            "fast_wall_s": round(fast_wall, 3),
+            "wall_speedup": round(sync_wall / fast_wall, 3),
+            "sync_mean_overhead_ms": round(
+                1e3 * mean(r.overhead for r in sync_trace), 3),
+            "sync_mean_io_blocked_ms": round(
+                1e3 * mean(r.io_blocked for r in sync_trace), 3),
+            "fast_mean_overhead_ms": round(
+                1e3 * mean(r.overhead for r in fast_trace), 3),
+            "fast_mean_io_blocked_ms": round(
+                1e3 * mean(r.io_blocked for r in fast_trace), 3),
+            "fast_mean_io_hidden_ms": round(
+                1e3 * mean(r.io_hidden for r in fast_trace), 3),
+            "fast_cache_hit_rate": round(
+                mean(1.0 if r.cache_hit else 0.0
+                     for r in fast_trace if r.provider_id is not None), 3),
+            "fast_io_stats": fast_trace.io_stats,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

@@ -1,0 +1,159 @@
+"""Emit ``BENCH_io.json``: checkpoint I/O fast-path benchmark numbers.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/io_runner.py            # full
+    PYTHONPATH=src python benchmarks/perf/io_runner.py --quick    # CI tier
+    PYTHONPATH=src python benchmarks/perf/io_runner.py --quick --check BENCH_io.json
+
+``--check`` enforces the fast-path invariants on the *fresh* numbers
+(warm-cache load beats cold by >= ``CACHE_SPEEDUP_FLOOR``x; the fast
+path's mean blocked I/O stays under the sync path's mean overhead) and
+compares cold-load / sync-save timings against a committed baseline,
+failing on >``REGRESSION_FACTOR``x regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+if __package__ in (None, ""):                  # `python benchmarks/perf/io_runner.py`
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+
+import numpy as np
+
+from benchmarks.perf import io_cases, timing
+
+#: CI gate on baseline comparison — loose on purpose, shared runners jitter.
+REGRESSION_FACTOR = 2.0
+#: fresh-run invariant: warm-cache hit must beat a cold store.load by this.
+CACHE_SPEEDUP_FLOOR = 10.0
+
+#: (section key, row key) pairs compared against the committed baseline
+_BASELINE_KEYS = (
+    ("cold_vs_cached_load", "cached_ms"),
+    ("write_behind_save", "enqueue_blocked_ms"),
+    ("transport_vs_pickle", "attach_cached_ms"),
+)
+
+
+def collect(quick: bool = False) -> dict:
+    rounds = timing.QUICK_ROUNDS if quick else timing.ROUNDS
+    warmup = 1 if quick else timing.WARMUP_ROUNDS
+
+    micro = {}
+    for name, case in io_cases.IO_MICRO_CASES.items():
+        print(f"  io micro: {name} ...", flush=True)
+        micro[name] = case(rounds, warmup)
+    print("  io e2e: run_search lcs (4-worker pool) ...", flush=True)
+    e2e = io_cases.e2e_search_case(
+        num_candidates=12 if quick else 24, workers=4)
+
+    return {
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "mode": "quick" if quick else "full",
+            "rounds": rounds,
+            "warmup": warmup,
+            "seed": io_cases.SEED,
+        },
+        "micro": micro,
+        "e2e": {"run_search_lcs": e2e},
+        "ru_maxrss_kb": {"after": timing.ru_maxrss_kb()},
+    }
+
+
+def check(current: dict, baseline_path: str) -> int:
+    """Invariants on the fresh run + loose baseline regression gate;
+    returns the number of failures."""
+    failures = 0
+
+    row = current["micro"]["cold_vs_cached_load"]
+    status = "ok"
+    if row["speedup"] < CACHE_SPEEDUP_FLOOR:
+        failures += 1
+        status = "FAILED"
+    print(f"  check cache: warm {row['cached_ms']:.4f}ms vs cold "
+          f"{row['cold_ms']:.3f}ms = {row['speedup']:.0f}x "
+          f"(floor {CACHE_SPEEDUP_FLOOR:.0f}x) -> {status}")
+
+    e2e = current["e2e"]["run_search_lcs"]
+    status = "ok"
+    if not e2e["fast_mean_io_blocked_ms"] < e2e["sync_mean_overhead_ms"]:
+        failures += 1
+        status = "FAILED"
+    print(f"  check e2e: fast blocked {e2e['fast_mean_io_blocked_ms']:.3f}ms "
+          f"< sync overhead {e2e['sync_mean_overhead_ms']:.3f}ms per record "
+          f"-> {status}")
+
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    for section, key in _BASELINE_KEYS:
+        base = baseline.get("micro", {}).get(section)
+        if not base or key not in base:
+            continue
+        limit = base[key] * REGRESSION_FACTOR
+        cur = current["micro"][section][key]
+        status = "ok"
+        if cur > limit:
+            failures += 1
+            status = "REGRESSED"
+        print(f"  check {section}.{key}: {cur:.4f}ms vs baseline "
+              f"{base[key]:.4f}ms (limit {limit:.4f}ms) -> {status}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI tier: fewer rounds, fewer candidates")
+    parser.add_argument("--out", default="BENCH_io.json",
+                        help="output path (default: BENCH_io.json)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="enforce fast-path invariants and compare "
+                             f"against a baseline (> {REGRESSION_FACTOR}x "
+                             "regression fails)")
+    args = parser.parse_args(argv)
+
+    print(f"collecting ({'quick' if args.quick else 'full'} mode) ...")
+    results = collect(quick=args.quick)
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    cache = results["micro"]["cold_vs_cached_load"]
+    wb = results["micro"]["write_behind_save"]
+    e2e = results["e2e"]["run_search_lcs"]
+    print(f"provider load: cold {cache['cold_ms']:.2f}ms -> warm "
+          f"{cache['cached_ms']:.4f}ms ({cache['speedup']:.0f}x)")
+    print(f"candidate save: sync {wb['sync_save_ms']:.2f}ms -> enqueue "
+          f"{wb['enqueue_blocked_ms']:.3f}ms blocked "
+          f"({wb['hidden_factor']:.0f}x hidden)")
+    print(f"e2e lcs x{e2e['num_candidates']} on {e2e['workers']} workers: "
+          f"{e2e['sync_wall_s']:.2f}s -> {e2e['fast_wall_s']:.2f}s "
+          f"({e2e['wall_speedup']:.2f}x), per-record blocked I/O "
+          f"{e2e['sync_mean_io_blocked_ms']:.2f}ms -> "
+          f"{e2e['fast_mean_io_blocked_ms']:.2f}ms")
+
+    if args.check:
+        print(f"checking against {args.check} ...")
+        failures = check(results, args.check)
+        if failures:
+            print(f"FAIL: {failures} I/O check(s) failed")
+            return 1
+        print("io perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Smoke tier of the I/O benchmark harness (quick rounds).
+
+Asserted bounds are looser than the committed ``BENCH_io.json`` where
+timing is involved (shared CI runners jitter); structural numbers
+(bytes shipped, blocked-vs-total accounting) keep real thresholds.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf import io_cases
+from benchmarks.perf.timing import QUICK_ROUNDS
+
+_WARMUP = 1
+
+
+def test_cached_load_beats_cold_load():
+    row = io_cases.cold_vs_cached_load_case(QUICK_ROUNDS, _WARMUP)
+    # acceptance floor is 10x; a warm dict lookup vs an npz parse clears
+    # it with orders of magnitude to spare even on noisy runners
+    assert row["speedup"] >= 10.0, row
+
+
+def test_write_behind_blocks_less_than_sync_save():
+    row = io_cases.write_behind_save_case(QUICK_ROUNDS, _WARMUP)
+    # enqueue = one memcpy snapshot; sync = compress + npz write
+    assert row["enqueue_blocked_ms"] < row["sync_save_ms"], row
+
+
+def test_transport_ships_orders_of_magnitude_fewer_bytes():
+    row = io_cases.transport_vs_pickle_case(QUICK_ROUNDS, _WARMUP)
+    # a WeightHandle is a few hundred bytes vs a multi-MB pickle
+    assert row["handle_bytes"] * 100 <= row["pickle_bytes"], row
+    assert row["attach_cached_ms"] < row["pickle_round_trip_ms"], row
+
+
+def test_e2e_fast_path_blocks_less_io_than_sync():
+    row = io_cases.e2e_search_case(num_candidates=10, workers=4)
+    # the headline acceptance: per-record blocked I/O strictly below the
+    # old (sync) overhead, with real hidden I/O and cache hits recorded
+    assert row["fast_mean_io_blocked_ms"] < row["sync_mean_overhead_ms"], row
+    assert row["fast_mean_io_hidden_ms"] > 0.0, row
+    assert row["fast_cache_hit_rate"] > 0.0, row

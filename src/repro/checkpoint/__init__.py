@@ -1,6 +1,8 @@
-"""npz checkpoint store + multi-level/async extensions."""
+"""npz checkpoint store + cache/prefetch/async multi-level extensions."""
 
+from .cache import DEFAULT_CACHE_BYTES, WeightCache, make_cache, weights_nbytes
 from .multilevel import AsyncCheckpointWriter, MultiLevelStore
+from .prefetch import ProviderPrefetcher
 from .store import CheckpointInfo, CheckpointStore
 
 __all__ = [
@@ -8,4 +10,9 @@ __all__ = [
     "CheckpointInfo",
     "AsyncCheckpointWriter",
     "MultiLevelStore",
+    "WeightCache",
+    "ProviderPrefetcher",
+    "make_cache",
+    "weights_nbytes",
+    "DEFAULT_CACHE_BYTES",
 ]

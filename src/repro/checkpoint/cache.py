@@ -1,0 +1,188 @@
+"""In-memory LRU weight cache layered over a checkpoint store.
+
+Evolutionary search re-selects the same providers constantly (a fit
+parent breeds many children), so the same checkpoint is re-read and
+re-deserialized from disk once per child.  :class:`WeightCache` keeps
+recently touched weight dicts in memory under a byte budget: a hit
+skips disk entirely and costs a dict lookup.
+
+Thread-safety: all operations take the internal lock — the scheduler
+thread, the prefetch reader and the async writer may touch the cache
+concurrently.  Cached arrays are handed out as **read-only views** of
+the stored arrays (zero-copy): ``transfer_weights`` copies matched
+tensors into the receiver anyway, and the read-only flag turns any
+accidental in-place mutation of shared cache state into an immediate
+``ValueError`` instead of silent cross-candidate corruption.
+
+Hidden-cost attribution: a loader that populated the cache off the
+critical path (the prefetcher) records its load seconds via
+``put(..., hidden_seconds=...)``; the first consumer of that entry
+collects them through :meth:`take_hidden_seconds` and books them as
+``io_hidden`` on its trace record — so Fig. 11 / simulator accounting
+still sees the true I/O cost, just split into blocked vs hidden.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Default byte budget: generous for the scaled-down reproduction
+#: (checkpoints are O(100 KB)); real deployments size this to node RAM.
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+
+def weights_nbytes(weights: dict) -> int:
+    """Total payload bytes of a named-tensor dict."""
+    return int(sum(np.asarray(arr).nbytes for arr in weights.values()))
+
+
+@dataclass
+class _Entry:
+    weights: dict
+    nbytes: int
+    hidden_seconds: float = 0.0
+
+
+class WeightCache:
+    """Size-bounded, thread-safe LRU over checkpoint weight dicts."""
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._nbytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+        self.oversize_rejects = 0
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """The cached weight dict (read-only array views), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return dict(entry.weights)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def take_hidden_seconds(self, key: str) -> float:
+        """Collect (and zero) the unattributed background load seconds
+        recorded for ``key`` — consumed once by trace accounting."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return 0.0
+            seconds, entry.hidden_seconds = entry.hidden_seconds, 0.0
+            return seconds
+
+    # -- insert / evict -------------------------------------------------
+    def put(self, key: str, weights: dict,
+            hidden_seconds: float = 0.0) -> bool:
+        """Insert (or refresh) ``key``; returns False when the payload
+        alone exceeds the byte budget and was rejected."""
+        frozen = {}
+        nbytes = 0
+        for name, arr in weights.items():
+            view = np.asarray(arr).view()
+            view.flags.writeable = False
+            frozen[name] = view
+            nbytes += int(view.nbytes)
+        with self._lock:
+            if nbytes > self.max_bytes:
+                self.oversize_rejects += 1
+                self._entries.pop(key, None)
+                self._recount()
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._nbytes -= old.nbytes
+                hidden_seconds += old.hidden_seconds
+            self._entries[key] = _Entry(frozen, nbytes, hidden_seconds)
+            self._nbytes += nbytes
+            self.insertions += 1
+            while self._nbytes > self.max_bytes and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self._nbytes -= evicted.nbytes
+                self.evictions += 1
+            return True
+
+    def _recount(self) -> None:
+        self._nbytes = sum(e.nbytes for e in self._entries.values())
+
+    def discard(self, key: str) -> None:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._nbytes -= entry.nbytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            return self._nbytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "insertions": self.insertions,
+                "oversize_rejects": self.oversize_rejects,
+                "entries": len(self._entries),
+                "current_bytes": self._nbytes,
+                "max_bytes": self.max_bytes,
+            }
+
+    def __repr__(self):
+        s = self.stats()
+        return (f"<WeightCache {s['entries']} entries "
+                f"{s['current_bytes']}/{s['max_bytes']}B "
+                f"hits={s['hits']} misses={s['misses']} "
+                f"evictions={s['evictions']}>")
+
+
+def make_cache(cache, prefetch: bool = False) -> Optional[WeightCache]:
+    """Normalise the ``run_search(cache=...)`` knob.
+
+    ``None``/``False`` → no cache (unless ``prefetch`` forces a default
+    one — prefetch without a cache has nowhere to put its loads);
+    ``True`` → default-budget cache; an int → byte budget; a
+    :class:`WeightCache` → used as-is.
+    """
+    if isinstance(cache, WeightCache):
+        return cache
+    if cache is None or cache is False:
+        return WeightCache() if prefetch else None
+    if cache is True:
+        return WeightCache()
+    return WeightCache(max_bytes=int(cache))

@@ -6,12 +6,25 @@
   asynchronous propagation to a slower "parallel filesystem" tier.
 
 Both are context managers; exiting flushes and stops the worker.
+
+Error contract (tested in ``tests/test_checkpoint.py``): background
+write failures are captured, never lost.  The first captured exception
+is re-raised by the next :meth:`AsyncCheckpointWriter.flush` (or
+:meth:`close`) call, after the queue has fully drained; captured errors
+are cleared once raised, so a later flush of healthy writes succeeds.
+``close`` always stops the worker thread, even when it re-raises.
+
+Backpressure: the queue is bounded.  ``save(..., block=True)`` (the
+default) blocks the caller once ``max_queue`` snapshots are waiting —
+the producer cannot run unboundedly ahead of the disk.  With
+``block=False`` a full queue raises :class:`queue.Full` immediately.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Optional
 
 import numpy as np
@@ -23,7 +36,12 @@ class AsyncCheckpointWriter:
     def __init__(self, store: CheckpointStore, max_queue: int = 64):
         self.store = store
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._lock = threading.Lock()
         self._errors: list[Exception] = []
+        self._results: dict[str, CheckpointInfo] = {}
+        self._durations: dict[str, float] = {}
+        self._pending: set[str] = set()
+        self._closed = False
         self._worker = threading.Thread(target=self._drain, daemon=True)
         self._worker.start()
 
@@ -34,29 +52,76 @@ class AsyncCheckpointWriter:
                 self._queue.task_done()
                 return
             key, weights, meta = item
+            t0 = time.perf_counter()
             try:
-                self.store.save(key, weights, meta)
-            except Exception as exc:  # surfaced on flush/close
-                self._errors.append(exc)
+                info = self.store.save(key, weights, meta)
+                with self._lock:
+                    self._results[key] = info
+                    self._durations[key] = time.perf_counter() - t0
+            except Exception as exc:  # re-raised by the next flush/close
+                with self._lock:
+                    self._errors.append(exc)
             finally:
+                with self._lock:
+                    self._pending.discard(key)
                 self._queue.task_done()
 
-    def save(self, key: str, weights: dict, meta: dict | None = None) -> None:
+    def save(self, key: str, weights: dict, meta: dict | None = None,
+             block: bool = True, timeout: Optional[float] = None) -> None:
         """Enqueue; snapshots the arrays so later in-place training updates
-        don't race the writer."""
+        don't race the writer.  Raises :class:`queue.Full` when the queue
+        is at ``max_queue`` and ``block`` is false (or ``timeout`` runs
+        out) — the backpressure contract."""
+        if self._closed:
+            raise RuntimeError("writer is closed")
         snapshot = {name: np.array(arr, copy=True)
                     for name, arr in weights.items()}
-        self._queue.put((key, snapshot, meta))
+        with self._lock:
+            self._pending.add(key)
+        try:
+            self._queue.put((key, snapshot, meta), block=block,
+                            timeout=timeout)
+        except queue.Full:
+            with self._lock:
+                self._pending.discard(key)
+            raise
+
+    # -- accounting (consumed by run_search's drain barrier) ------------
+    def pending_keys(self) -> set:
+        with self._lock:
+            return set(self._pending)
+
+    def results(self) -> dict[str, CheckpointInfo]:
+        """CheckpointInfo per key written so far (snapshot copy)."""
+        with self._lock:
+            return dict(self._results)
+
+    def durations(self) -> dict[str, float]:
+        """Background write seconds per key (snapshot copy) — the
+        ``io_hidden`` cost the critical path never saw."""
+        with self._lock:
+            return dict(self._durations)
 
     def flush(self) -> None:
+        """Block until the queue drains; raise the first captured write
+        error (clearing the captured set) — raise-on-first-error."""
         self._queue.join()
-        if self._errors:
-            raise self._errors[0]
+        with self._lock:
+            errors, self._errors = self._errors, []
+        if errors:
+            raise errors[0]
 
     def close(self) -> None:
-        self.flush()
-        self._queue.put(None)
-        self._worker.join()
+        """Flush then stop the worker.  The worker is always stopped,
+        even when flush re-raises a captured write error."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.flush()
+        finally:
+            self._queue.put(None)
+            self._worker.join()
 
     def __enter__(self) -> "AsyncCheckpointWriter":
         return self
@@ -68,10 +133,15 @@ class AsyncCheckpointWriter:
 class MultiLevelStore:
     """Fast local tier (synchronous) + slow PFS tier (write-behind)."""
 
-    def __init__(self, local_root, pfs_root, compress_pfs: bool = False):
+    def __init__(self, local_root, pfs_root, compress_pfs: bool = False,
+                 max_queue: int = 64):
         self.local = CheckpointStore(local_root)
         self.pfs = CheckpointStore(pfs_root, compress=compress_pfs)
-        self._writer = AsyncCheckpointWriter(self.pfs)
+        self._writer = AsyncCheckpointWriter(self.pfs, max_queue=max_queue)
+
+    @property
+    def writer(self) -> AsyncCheckpointWriter:
+        return self._writer
 
     def save(self, key: str, weights: dict,
              meta: dict | None = None) -> CheckpointInfo:
@@ -85,8 +155,18 @@ class MultiLevelStore:
             return self.local.load(key)
         return self.pfs.load(key)
 
+    def load_meta(self, key: str) -> dict | None:
+        if self.local.exists(key):
+            return self.local.load_meta(key)
+        return self.pfs.load_meta(key)
+
     def exists(self, key: str) -> bool:
         return self.local.exists(key) or self.pfs.exists(key)
+
+    def nbytes(self, key: str) -> int:
+        if self.local.exists(key):
+            return self.local.nbytes(key)
+        return self.pfs.nbytes(key)
 
     def evict_local(self, key: str) -> None:
         """Drop the local copy (the PFS copy remains authoritative)."""

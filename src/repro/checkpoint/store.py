@@ -1,9 +1,14 @@
 """Directory-backed npz checkpoint store (the HDF5/parallel-FS stand-in).
 
-One checkpoint = ``<key>.npz`` holding the ordered named tensors (with an
-``__order__`` index so insertion order survives the round trip) plus an
-optional ``<key>.json`` metadata sidecar.  Sizes are real on-disk bytes —
-they feed Figure 11 and the simulator's I/O cost model.
+One checkpoint = ``<key>.npz`` holding the named tensors plus a
+``<key>.json`` sidecar carrying the tensor order and the optional user
+metadata.  Keeping the order index in the sidecar (instead of an
+object-dtype array inside the npz, as older stores did) means ``load``
+never needs ``allow_pickle=True`` — no pickle on the I/O hot path and
+no object-array deserialisation cost.  Legacy archives that still embed
+an ``__order__`` object array remain readable through a fallback.
+Sizes are real on-disk bytes — they feed Figure 11 and the simulator's
+I/O cost model.
 """
 
 from __future__ import annotations
@@ -14,7 +19,11 @@ from pathlib import Path
 
 import numpy as np
 
+#: Legacy in-archive order index (object dtype, needs pickle); new saves
+#: put the order in the JSON sidecar under the same reserved name.
 _ORDER_KEY = "__order__"
+#: Sidecar key for the user metadata in the new sidecar format.
+_META_KEY = "__meta__"
 
 
 @dataclass(frozen=True)
@@ -48,30 +57,45 @@ class CheckpointStore:
              meta: dict | None = None) -> CheckpointInfo:
         path = self.path(key)
         payload = {name: np.asarray(arr) for name, arr in weights.items()}
-        payload[_ORDER_KEY] = np.array(list(weights.keys()), dtype=object)
         with open(path, "wb") as fh:
             if self.compress:
                 np.savez_compressed(fh, **payload)
             else:
                 np.savez(fh, **payload)
-        if meta is not None:
-            self.meta_path(key).write_text(json.dumps(meta))
+        sidecar = {_ORDER_KEY: list(weights.keys()), _META_KEY: meta}
+        self.meta_path(key).write_text(json.dumps(sidecar))
         return CheckpointInfo(key, path, path.stat().st_size)
 
-    def load(self, key: str) -> dict[str, np.ndarray]:
-        """Ordered named tensors, insertion order preserved."""
-        with np.load(self.path(key), allow_pickle=True) as data:
-            if _ORDER_KEY in data.files:
-                order = [str(n) for n in data[_ORDER_KEY]]
-            else:
-                order = [n for n in data.files if n != _ORDER_KEY]
-            return {name: data[name] for name in order}
-
-    def load_meta(self, key: str) -> dict | None:
+    def _sidecar(self, key: str) -> dict | None:
         mp = self.meta_path(key)
         if not mp.exists():
             return None
         return json.loads(mp.read_text())
+
+    def load(self, key: str) -> dict[str, np.ndarray]:
+        """Ordered named tensors, insertion order preserved."""
+        path = self.path(key)
+        sidecar = self._sidecar(key)
+        if sidecar is not None and _ORDER_KEY in sidecar:
+            order = [str(n) for n in sidecar[_ORDER_KEY]]
+            with np.load(path) as data:        # allow_pickle stays False
+                return {name: data[name] for name in order}
+        # legacy archives: order index embedded as an object array
+        with np.load(path) as data:
+            if _ORDER_KEY not in data.files:
+                # npz member order is zip-entry order == insertion order
+                return {name: data[name] for name in data.files}
+        with np.load(path, allow_pickle=True) as data:
+            order = [str(n) for n in data[_ORDER_KEY]]
+            return {name: data[name] for name in order}
+
+    def load_meta(self, key: str) -> dict | None:
+        sidecar = self._sidecar(key)
+        if sidecar is None:
+            return None
+        if _ORDER_KEY in sidecar:              # new sidecar format
+            return sidecar.get(_META_KEY)
+        return sidecar                          # legacy: raw user meta
 
     def delete(self, key: str) -> None:
         self.path(key).unlink(missing_ok=True)

@@ -8,10 +8,18 @@ from .evaluator import (
 from .scheduler import SCHEMES, run_search
 from .simcluster import CostModel, SimulatedCluster
 from .trace import Trace, TraceRecord, checkpoint_key
+from .transport import (
+    MmapFileTransport,
+    SharedMemoryTransport,
+    WeightHandle,
+    make_transport,
+)
 
 __all__ = [
     "run_search", "SCHEMES",
     "SerialEvaluator", "ThreadPoolEvaluator", "ProcessPoolEvaluator",
     "SimulatedCluster", "CostModel",
     "Trace", "TraceRecord", "checkpoint_key",
+    "SharedMemoryTransport", "MmapFileTransport", "WeightHandle",
+    "make_transport",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import concurrent.futures as cf
 import queue
 import threading
+from collections import deque
 from typing import Callable
 
 #: Attributes the R004 lint rule holds to the lock discipline: shared
@@ -26,7 +27,7 @@ class SerialEvaluator:
     num_workers = 1
 
     def __init__(self):
-        self._done: list[tuple[int, object]] = []
+        self._done: deque[tuple[int, object]] = deque()
         self._next = 0
 
     def submit(self, task: Callable[[], object]) -> int:
@@ -38,7 +39,7 @@ class SerialEvaluator:
     def wait_any(self):
         if not self._done:
             raise RuntimeError("no pending tasks")
-        return self._done.pop(0)
+        return self._done.popleft()   # FIFO, O(1) (list.pop(0) was O(n))
 
     @property
     def in_flight(self) -> int:
@@ -84,8 +85,13 @@ class _PoolEvaluator:
         return ticket
 
     def wait_any(self):
-        if not self._futures:
-            raise RuntimeError("no pending tasks")
+        # the emptiness check must also hold the lock: an unlocked read
+        # races concurrent drains — two waiters could both observe a
+        # single outstanding future and the loser would block forever on
+        # an empty done-queue instead of raising
+        with self._lock:
+            if not self._futures:
+                raise RuntimeError("no pending tasks")
         fut = self._done.get()
         with self._lock:
             ticket = self._futures.pop(fut)

@@ -16,6 +16,17 @@ dispatched, but the time it is charged comes from a per-application
 
 Heterogeneous clusters (Table II's A100/K80 mix) are modelled with
 ``gpu_speeds`` — per-GPU multipliers on training throughput.
+
+The I/O fast path of :func:`repro.cluster.run_search` has matching cost
+parameters so simulated and real traces use the same accounting:
+``run(cache=...)`` models (and actually uses — the simulator really
+loads weights) an in-memory provider cache whose hits cost
+``cache_hit_seconds`` instead of a modelled disk read, and
+``run(async_io=True)`` models write-behind saves — only the snapshot
+memcpy (``bytes / memcpy_bandwidth``) blocks the virtual critical path
+while the modelled disk write lands in ``record.io_hidden``.
+``record.overhead`` stays the total I/O cost in both modes, exactly as
+in the real scheduler.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..checkpoint import make_cache
 from ..nas.estimation import estimate_candidate
 from ..transfer.policy import get_policy
 from .trace import Trace, TraceRecord, checkpoint_key
@@ -41,6 +53,8 @@ class CostModel:
     ckpt_latency: float = 0.05        # fixed latency per checkpoint I/O
     write_bandwidth: float = 200e6    # bytes/s, candidate -> store
     read_bandwidth: float = 400e6     # bytes/s, store -> candidate
+    cache_hit_seconds: float = 1e-4   # in-memory provider cache hit
+    memcpy_bandwidth: float = 5e9     # bytes/s, write-behind snapshot copy
 
     def train_seconds(self, num_params: int, speed: float = 1.0) -> float:
         return (self.base_seconds + self.seconds_per_param * num_params) / speed
@@ -50,6 +64,11 @@ class CostModel:
 
     def load_seconds(self, nbytes: int) -> float:
         return self.ckpt_latency + nbytes / self.read_bandwidth
+
+    def enqueue_seconds(self, nbytes: int) -> float:
+        """Blocking cost of a write-behind save: the in-memory snapshot
+        copy; the disk write itself is hidden behind training."""
+        return nbytes / self.memcpy_bandwidth
 
 
 class SimulatedCluster:
@@ -72,10 +91,11 @@ class SimulatedCluster:
 
     def run(self, strategy, num_candidates: int, *,
             scheme: str = "baseline", provider_policy="parent",
-            seed: int = 0) -> Trace:
+            seed: int = 0, cache=None, async_io: bool = False) -> Trace:
         transfers = scheme != "baseline"
         policy = get_policy(provider_policy, space=self.problem.space)
         rng = np.random.default_rng(seed)
+        weight_cache = make_cache(cache) if transfers else None
         trace = Trace(name=f"{self.problem.name}-{scheme}-g{self.num_gpus}",
                       scheme=scheme)
         # (free_time, gpu_index) — earliest-free GPU gets the next task
@@ -106,13 +126,21 @@ class SimulatedCluster:
             provider_weights = None
             if transfers:
                 provider = policy.select(proposal, trace.ok_records(), rng)
-                if provider is not None and \
-                        self.store.exists(checkpoint_key(provider)):
+                if provider is not None:
                     key = checkpoint_key(provider)
-                    provider_weights = self.store.load(key)
-                    record.overhead += self.cost.load_seconds(
-                        self.store.nbytes(key))
-                    record.provider_id = provider
+                    if weight_cache is not None:
+                        provider_weights = weight_cache.get(key)
+                    if provider_weights is not None:
+                        record.cache_hit = True
+                        record.provider_id = provider
+                        record.add_io_blocked(self.cost.cache_hit_seconds)
+                    elif self.store.exists(key):
+                        provider_weights = self.store.load(key)
+                        record.add_io_blocked(self.cost.load_seconds(
+                            self.store.nbytes(key)))
+                        record.provider_id = provider
+                        if weight_cache is not None:
+                            weight_cache.put(key, provider_weights)
 
             # real training, virtual time
             result = estimate_candidate(
@@ -130,17 +158,32 @@ class SimulatedCluster:
             duration = self.cost.train_seconds(result.num_params,
                                                self.gpu_speeds[gpu])
             if transfers and result.ok and result.weights is not None:
+                key = checkpoint_key(candidate_id)
                 info = self.store.save(
-                    checkpoint_key(candidate_id), result.weights,
+                    key, result.weights,
                     meta={"arch_seq": list(record.arch_seq),
                           "score": record.score, "scheme": scheme},
                 )
                 record.ckpt_bytes = info.nbytes
-                record.overhead += self.cost.save_seconds(info.nbytes)
-            record.end_time = record.start_time + duration + record.overhead
+                if async_io:
+                    record.add_io_blocked(self.cost.enqueue_seconds(info.nbytes))
+                    record.add_io_hidden(self.cost.save_seconds(info.nbytes))
+                else:
+                    record.add_io_blocked(self.cost.save_seconds(info.nbytes))
+                if weight_cache is not None:
+                    weight_cache.put(key, result.weights)
+            # hidden I/O is, by definition, off the critical path: only
+            # the blocked seconds extend the candidate's GPU occupancy
+            record.end_time = record.start_time + duration + record.io_blocked
             heapq.heappush(completions,
                            (record.end_time, candidate_id, record))
             heapq.heappush(gpus, (record.end_time, gpu))
 
         drain(float("inf"))
+        if weight_cache is not None or async_io:
+            trace.io_stats = {}
+            if weight_cache is not None:
+                trace.io_stats["cache"] = weight_cache.stats()
+            if async_io:
+                trace.io_stats["async_io"] = True
         return trace

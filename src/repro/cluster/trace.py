@@ -31,7 +31,17 @@ class TraceRecord:
     provider_id: Optional[int] = None
     start_time: float = 0.0
     end_time: float = 0.0
-    overhead: float = 0.0            # checkpoint save+load seconds
+    #: total checkpoint I/O seconds attributed to this candidate —
+    #: always ``io_blocked + io_hidden`` (synchronous runs have
+    #: ``io_hidden == 0``, so ``overhead`` keeps its historical meaning)
+    overhead: float = 0.0
+    #: I/O seconds that blocked the scheduler's ask→submit→tell loop
+    io_blocked: float = 0.0
+    #: I/O seconds spent off the critical path (prefetch reader loads,
+    #: write-behind saves) but still attributable to this candidate
+    io_hidden: float = 0.0
+    #: provider weights came from the in-memory WeightCache, not disk
+    cache_hit: bool = False
     num_params: int = 0
     transferred: bool = False
     transfer_coverage: float = 0.0
@@ -40,6 +50,18 @@ class TraceRecord:
     @property
     def duration(self) -> float:
         return self.end_time - self.start_time
+
+    def add_io_blocked(self, seconds: float) -> None:
+        """Book I/O seconds that stalled the scheduler critical path
+        (``overhead`` tracks the blocked+hidden total automatically)."""
+        self.io_blocked += seconds
+        self.overhead += seconds
+
+    def add_io_hidden(self, seconds: float) -> None:
+        """Book I/O seconds absorbed off the critical path (prefetch
+        reader loads, write-behind saves)."""
+        self.io_hidden += seconds
+        self.overhead += seconds
 
 
 @dataclass
@@ -50,6 +72,10 @@ class Trace:
     #: pre-flight gate accounting (checked/admitted/rejected/by_code)
     #: when the search ran with static screening; None otherwise
     static_stats: Optional[dict] = None
+    #: checkpoint I/O fast-path accounting (cache/prefetch/writer/
+    #: transport stats + drain-barrier seconds) when the search ran with
+    #: the cache/async knobs; None otherwise
+    io_stats: Optional[dict] = None
 
     def append(self, record: TraceRecord) -> None:
         self.records.append(record)
@@ -81,6 +107,17 @@ class Trace:
         return float(sum(r.overhead for r in self.records))
 
     @property
+    def total_io_blocked(self) -> float:
+        """Checkpoint I/O seconds that actually blocked the scheduler."""
+        return float(sum(r.io_blocked for r in self.records))
+
+    @property
+    def total_io_hidden(self) -> float:
+        """Checkpoint I/O seconds hidden behind training by the cache,
+        the prefetch reader, or the write-behind writer."""
+        return float(sum(r.io_hidden for r in self.records))
+
+    @property
     def busy_time(self) -> float:
         return float(sum(r.duration for r in self.records))
 
@@ -94,6 +131,8 @@ class Trace:
             header = {"name": self.name, "scheme": self.scheme}
             if self.static_stats is not None:
                 header["static_stats"] = self.static_stats
+            if self.io_stats is not None:
+                header["io_stats"] = self.io_stats
             fh.write(json.dumps(header) + "\n")
             for r in self.records:
                 fh.write(json.dumps(asdict(r)) + "\n")
@@ -104,7 +143,8 @@ class Trace:
         with open(path) as fh:
             header = json.loads(fh.readline())
             trace = cls(name=header["name"], scheme=header["scheme"],
-                        static_stats=header.get("static_stats"))
+                        static_stats=header.get("static_stats"),
+                        io_stats=header.get("io_stats"))
             for line in fh:
                 d = json.loads(line)
                 d["arch_seq"] = tuple(d["arch_seq"])

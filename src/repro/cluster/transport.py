@@ -1,0 +1,318 @@
+"""Zero-copy provider-weight transport for process-pool evaluators.
+
+Pickling a provider's full tensor dict into every task payload costs a
+serialize + pipe-write + deserialize per child — and evolution sends the
+*same* provider to many children.  Instead the scheduler **publishes**
+the weights once per provider into a shared segment and ships only a
+tiny picklable :class:`WeightHandle`; workers attach and build NumPy
+views directly onto the shared buffer (zero-copy — ``transfer_weights``
+then copies just the matched tensors into the receiver model).
+
+Two interchangeable backends:
+
+- :class:`SharedMemoryTransport` — ``multiprocessing.shared_memory``
+  segments (tmpfs-backed on Linux).
+- :class:`MmapFileTransport` — one flat binary file per provider,
+  workers map it with ``np.memmap`` (page-cache backed).  Fallback when
+  POSIX shared memory is unavailable.
+
+Workers keep a small LRU of attached segments (``_ATTACH_CACHE_MAX``)
+so repeated tasks with the same provider re-use the mapping.  Handles
+are resolved by :func:`resolve_provider_ref`, called from the
+module-level task function the scheduler submits.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: index entry: (tensor name, dtype.str, shape tuple, byte offset)
+IndexEntry = Tuple[str, str, tuple, int]
+
+
+@dataclass(frozen=True)
+class WeightHandle:
+    """Small picklable reference to a published weight set."""
+
+    kind: str            # "shm" | "mmap"
+    name: str            # segment name or file path
+    index: tuple         # tuple[IndexEntry, ...]
+    nbytes: int
+
+
+def _build_index(weights: dict) -> tuple[tuple, int]:
+    index = []
+    offset = 0
+    for name, arr in weights.items():
+        arr = np.asarray(arr)
+        index.append((name, arr.dtype.str, tuple(arr.shape), offset))
+        offset += int(arr.nbytes)
+    return tuple(index), offset
+
+
+def _views_from_buffer(buf, index: tuple) -> dict:
+    """Named read-only array views onto a flat byte buffer."""
+    out = {}
+    for name, dtype, shape, offset in index:
+        dt = np.dtype(dtype)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        view = np.frombuffer(buf, dtype=dt, count=count,
+                             offset=offset).reshape(shape)
+        if view.flags.writeable:
+            view.flags.writeable = False
+        out[name] = view
+    return out
+
+
+class _BaseTransport:
+    """publish() on the scheduler side, one segment per provider key."""
+
+    kind = "base"
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._published: dict[str, WeightHandle] = {}
+        self.publishes = 0
+        self.reuses = 0
+        self.published_bytes = 0
+
+    def publish(self, key: str, weights: dict) -> WeightHandle:
+        with self._lock:
+            handle = self._published.get(key)
+            if handle is not None:
+                self.reuses += 1
+                return handle
+        index, total = _build_index(weights)
+        handle = self._create(key, weights, index, total)
+        with self._lock:
+            # a concurrent publish of the same key may have won the race
+            existing = self._published.setdefault(key, handle)
+            lost_race = existing is not handle
+            if not lost_race:
+                self.publishes += 1
+                self.published_bytes += total
+            else:
+                self.reuses += 1
+        if lost_race:
+            self._destroy(handle)
+            return existing
+        return handle
+
+    def _create(self, key, weights, index, total) -> WeightHandle:
+        raise NotImplementedError
+
+    def _destroy(self, handle: WeightHandle) -> None:
+        raise NotImplementedError
+
+    def release(self, key: str) -> None:
+        with self._lock:
+            handle = self._published.pop(key, None)
+        if handle is not None:
+            self._destroy(handle)
+
+    def close(self) -> None:
+        with self._lock:
+            handles, self._published = list(self._published.values()), {}
+        for handle in handles:
+            self._destroy(handle)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "publishes": self.publishes,
+                "reuses": self.reuses,
+                "published_bytes": self.published_bytes,
+                "live_segments": len(self._published),
+            }
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class SharedMemoryTransport(_BaseTransport):
+    kind = "shm"
+
+    def __init__(self):
+        super().__init__()
+        self._segments: dict[str, object] = {}   # handle.name -> SharedMemory
+
+    def _create(self, key, weights, index, total) -> WeightHandle:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        flat = np.frombuffer(shm.buf, dtype=np.uint8)
+        for (name, _, _, offset) in index:
+            arr = np.ascontiguousarray(np.asarray(weights[name]))
+            raw = arr.view(np.uint8).reshape(-1)
+            flat[offset:offset + arr.nbytes] = raw
+        del flat
+        handle = WeightHandle(self.kind, shm.name, index, total)
+        with self._lock:
+            self._segments[shm.name] = shm
+        return handle
+
+    def _destroy(self, handle: WeightHandle) -> None:
+        with self._lock:
+            shm = self._segments.pop(handle.name, None)
+        if shm is None:
+            return
+        try:
+            shm.close()
+            # an attach in this (or a forked) process may have stripped
+            # the tracker record; re-register so unlink's unregister
+            # never hits a missing entry in the shared tracker daemon
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.register(shm._name, "shared_memory")
+            except Exception:
+                pass
+            shm.unlink()
+        except (BufferError, FileNotFoundError, OSError):
+            pass
+
+
+class MmapFileTransport(_BaseTransport):
+    kind = "mmap"
+
+    def __init__(self, root: Optional[str] = None):
+        super().__init__()
+        if root is None:
+            root = tempfile.mkdtemp(prefix="repro-weights-")
+            self._owns_root = True
+        else:
+            os.makedirs(root, exist_ok=True)
+            self._owns_root = False
+        self.root = str(root)
+
+    def _create(self, key, weights, index, total) -> WeightHandle:
+        path = os.path.join(self.root, f"{key}.bin")
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            for (name, _, _, _) in index:
+                arr = np.ascontiguousarray(np.asarray(weights[name]))
+                fh.write(arr.view(np.uint8).reshape(-1).tobytes())
+        os.replace(tmp, path)
+        return WeightHandle(self.kind, path, index, total)
+
+    def _destroy(self, handle: WeightHandle) -> None:
+        try:
+            os.unlink(handle.name)
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        super().close()
+        if self._owns_root:
+            shutil.rmtree(self.root, ignore_errors=True)
+
+
+def make_transport(transport, store=None):
+    """Normalise the ``run_search(transport=...)`` knob to an instance.
+
+    ``"shm"`` / ``"mmap"`` pick a backend explicitly; ``"auto"`` tries
+    shared memory and falls back to mmap files.  Returns ``None`` for
+    ``False``/``None`` (transport disabled).
+    """
+    if transport is None or transport is False:
+        return None
+    if isinstance(transport, _BaseTransport):
+        return transport
+    if transport == "shm":
+        return SharedMemoryTransport()
+    if transport == "mmap":
+        return MmapFileTransport()
+    if transport == "auto" or transport is True:
+        try:
+            probe = SharedMemoryTransport()
+            handle = probe._create(
+                "probe", {"p": np.zeros(1, dtype=np.uint8)},
+                (("p", "|u1", (1,), 0),), 1)
+            probe._destroy(handle)
+            return probe
+        except Exception:
+            return MmapFileTransport()
+    raise ValueError(f"unknown transport {transport!r}")
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: per-process LRU of attached segments: handle.name -> (weights, closer)
+_ATTACH_CACHE_MAX = 8
+_attach_cache: "OrderedDict[str, tuple]" = OrderedDict()
+_attach_lock = threading.Lock()
+
+
+def _attach(handle: WeightHandle) -> tuple:
+    """(weights dict, closer) for a handle — fresh mapping, no cache."""
+    if handle.kind == "shm":
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=handle.name, create=False)
+        # CPython < 3.13 registers attached segments with the resource
+        # tracker, whose exit-time cleanup would unlink segments the
+        # scheduler still owns (bpo-39959); unregister the attach-side
+        # record — the creating process remains responsible for unlink.
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        weights = _views_from_buffer(shm.buf, handle.index)
+
+        def closer(orig_close=shm.close):
+            try:
+                orig_close()
+            except BufferError:   # a view is still alive; leave mapped
+                pass
+
+        # shadow close() on the instance so the interpreter-shutdown
+        # __del__ (which calls self.close()) cannot spray BufferError
+        # noise while zero-copy views are still alive
+        shm.close = closer
+        return weights, closer
+    if handle.kind == "mmap":
+        raw = np.memmap(handle.name, dtype=np.uint8, mode="r")
+        weights = _views_from_buffer(raw, handle.index)
+        return weights, None
+    raise ValueError(f"unknown handle kind {handle.kind!r}")
+
+
+def load_handle_weights(handle: WeightHandle) -> dict:
+    """Resolve a handle in the worker, via the per-process attach LRU."""
+    with _attach_lock:
+        cached = _attach_cache.get(handle.name)
+        if cached is not None:
+            _attach_cache.move_to_end(handle.name)
+            return cached[0]
+    weights, closer = _attach(handle)
+    with _attach_lock:
+        _attach_cache[handle.name] = (weights, closer)
+        while len(_attach_cache) > _ATTACH_CACHE_MAX:
+            _, (_, old_closer) = _attach_cache.popitem(last=False)
+            if old_closer is not None:
+                old_closer()
+    return weights
+
+
+def resolve_provider_ref(provider_ref):
+    """Task-side resolution: ``None`` and plain dicts pass through;
+    handles are attached (and cached) in the worker process."""
+    if provider_ref is None or isinstance(provider_ref, dict):
+        return provider_ref
+    if isinstance(provider_ref, WeightHandle):
+        return load_handle_weights(provider_ref)
+    raise TypeError(f"unsupported provider reference {type(provider_ref)!r}")

@@ -66,3 +66,9 @@ class RegularizedEvolution(Strategy):
         self.population.append(
             _Member(candidate_id, tuple(arch_seq), float(score))
         )
+
+    def provider_candidates(self) -> tuple:
+        """Every population member may win the next tournament and
+        become the mutation parent (= weight provider), so the whole
+        FIFO is worth prefetching."""
+        return tuple(m.candidate_id for m in self.population)

@@ -58,3 +58,8 @@ class SurrogateSearch(Strategy):
 
     def tell(self, candidate_id, arch_seq, score) -> None:
         self._evaluated.append((candidate_id, tuple(arch_seq), float(score)))
+
+    def provider_candidates(self) -> tuple:
+        """The nearest-evaluated provider is usually a recent candidate
+        (the search converges locally), so prefetch the newest window."""
+        return tuple(cid for cid, _, _ in self._evaluated[-16:])

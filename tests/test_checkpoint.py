@@ -1,5 +1,10 @@
 """CheckpointStore, MultiLevelStore, AsyncCheckpointWriter."""
 
+import json
+import queue
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -55,6 +60,42 @@ def test_compressed_store_is_smaller_for_redundant_data(tmp_path):
     assert np.array_equal(packed.load("k")["d.kernel"], w["d.kernel"])
 
 
+def test_load_never_needs_pickle(tmp_path):
+    store = CheckpointStore(tmp_path)
+    w = weights()
+    store.save("k", w, meta={"score": 0.5})
+    # the archive holds only the tensors; order lives in the sidecar
+    with np.load(store.path("k")) as data:      # allow_pickle defaults off
+        assert sorted(data.files) == sorted(w)
+    sidecar = json.loads(store.meta_path("k").read_text())
+    assert sidecar["__order__"] == list(w)
+    assert sidecar["__meta__"] == {"score": 0.5}
+    assert list(store.load("k")) == list(w)
+
+
+def test_legacy_object_array_archive_still_loads(tmp_path):
+    store = CheckpointStore(tmp_path)
+    w = weights()
+    # old stores embedded the order as an object array and wrote the raw
+    # user meta (no __order__ wrapper) to the sidecar
+    order = np.array(list(w.keys()), dtype=object)
+    np.savez(store.path("k"), __order__=order, **w)
+    store.meta_path("k").write_text(json.dumps({"score": 0.7}))
+    loaded = store.load("k")
+    assert list(loaded) == list(w)
+    assert all(np.array_equal(loaded[k], w[k]) for k in w)
+    assert store.load_meta("k") == {"score": 0.7}
+
+
+def test_legacy_archive_without_order_index_loads(tmp_path):
+    store = CheckpointStore(tmp_path)
+    w = weights()
+    np.savez(store.path("k"), **w)              # no sidecar, no __order__
+    loaded = store.load("k")                    # zip-entry order
+    assert list(loaded) == list(w)
+    assert store.load_meta("k") is None
+
+
 def test_async_writer_flushes_to_store(tmp_path):
     store = CheckpointStore(tmp_path)
     with AsyncCheckpointWriter(store) as writer:
@@ -63,6 +104,91 @@ def test_async_writer_flushes_to_store(tmp_path):
         writer.flush()
         assert len(store) == 5
     assert store.load_meta("m_000003") == {"i": 3}
+
+
+class FlakyStore(CheckpointStore):
+    """Fails the first ``fail`` saves, then behaves normally."""
+
+    def __init__(self, root, fail=1):
+        super().__init__(root)
+        self.fail = fail
+
+    def save(self, key, weights, meta=None):
+        if self.fail > 0:
+            self.fail -= 1
+            raise OSError(f"disk full while writing {key}")
+        return super().save(key, weights, meta)
+
+
+class SlowStore(CheckpointStore):
+    """Blocks every save on an event — lets tests fill the queue."""
+
+    def __init__(self, root):
+        super().__init__(root)
+        self.gate = threading.Event()
+
+    def save(self, key, weights, meta=None):
+        self.gate.wait(timeout=10.0)
+        return super().save(key, weights, meta)
+
+
+def test_async_writer_raises_first_error_on_flush(tmp_path):
+    store = FlakyStore(tmp_path, fail=1)
+    writer = AsyncCheckpointWriter(store)
+    writer.save("bad", weights(0))
+    writer.save("good", weights(1))
+    with pytest.raises(OSError, match="disk full"):
+        writer.flush()
+    # errors are cleared once raised; healthy writes flush cleanly
+    writer.flush()
+    assert store.exists("good") and not store.exists("bad")
+    writer.close()
+
+
+def test_async_writer_close_raises_but_stops_worker(tmp_path):
+    writer = AsyncCheckpointWriter(FlakyStore(tmp_path, fail=1))
+    writer.save("bad", weights())
+    with pytest.raises(OSError):
+        writer.close()
+    assert not writer._worker.is_alive()
+    writer.close()                               # idempotent after error
+    with pytest.raises(RuntimeError):
+        writer.save("late", weights())
+
+
+def test_async_writer_queue_full_backpressure(tmp_path):
+    store = SlowStore(tmp_path)
+    writer = AsyncCheckpointWriter(store, max_queue=1)
+    writer.save("k0", weights(0))                # picked up by the worker
+    for attempt in range(200):                   # fill the 1-slot queue
+        try:
+            writer.save("k1", weights(1), block=False)
+            break
+        except queue.Full:  # pragma: no cover - depends on thread timing
+            time.sleep(0.005)                    # let the worker take k0
+    with pytest.raises(queue.Full):
+        writer.save("k2", weights(2), block=False)
+    with pytest.raises(queue.Full):
+        writer.save("k3", weights(3), timeout=0.01)
+    assert "k3" not in writer.pending_keys()
+    store.gate.set()                             # release the writer
+    writer.close()
+    assert store.exists("k0") and store.exists("k1")
+
+
+def test_async_writer_snapshots_arrays_and_records_results(tmp_path):
+    store = CheckpointStore(tmp_path)
+    writer = AsyncCheckpointWriter(store)
+    w = weights()
+    writer.save("k", w)
+    w["d.bias"][:] = -1.0                        # mutate after enqueue
+    writer.flush()
+    assert not np.array_equal(store.load("k")["d.bias"], w["d.bias"])
+    infos = writer.results()
+    assert infos["k"].nbytes == store.nbytes("k")
+    assert writer.durations()["k"] > 0.0
+    assert writer.pending_keys() == set()
+    writer.close()
 
 
 def test_multilevel_store_reads_through_to_pfs(tmp_path):
@@ -76,3 +202,20 @@ def test_multilevel_store_reads_through_to_pfs(tmp_path):
     loaded = ml.load("k")                    # falls back to the PFS tier
     assert all(np.array_equal(loaded[k], w[k]) for k in w)
     ml.close()
+
+
+def test_multilevel_store_propagates_meta_and_sizes(tmp_path):
+    with MultiLevelStore(tmp_path / "local", tmp_path / "pfs") as ml:
+        w = weights()
+        ml.save("k", w, meta={"score": 0.9})
+        ml.flush()
+        # both tiers carry the full checkpoint, meta included
+        assert ml.local.load_meta("k") == {"score": 0.9}
+        assert ml.pfs.load_meta("k") == {"score": 0.9}
+        assert ml.load_meta("k") == {"score": 0.9}
+        assert ml.nbytes("k") == ml.local.nbytes("k")
+        ml.evict_local("k")
+        assert ml.exists("k")                # PFS tier remains
+        assert ml.nbytes("k") == ml.pfs.nbytes("k")
+        assert ml.load_meta("k") == {"score": 0.9}
+        assert ml.writer.pending_keys() == set()

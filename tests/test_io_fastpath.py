@@ -1,0 +1,262 @@
+"""Checkpoint I/O fast path: determinism, drain barrier, transport, sim.
+
+The contract under test (DESIGN.md "Checkpoint I/O pipeline"): turning
+on the cache / prefetch / write-behind / transport knobs changes *when*
+I/O happens, never *what* the search computes — fast-path traces are
+semantically identical to fully synchronous ones, and ``overhead``
+always equals ``io_blocked + io_hidden``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import CheckpointStore, WeightCache
+from repro.cluster import (
+    CostModel,
+    SimulatedCluster,
+    Trace,
+    checkpoint_key,
+    run_search,
+)
+from repro.cluster.transport import (
+    MmapFileTransport,
+    SharedMemoryTransport,
+    WeightHandle,
+    load_handle_weights,
+    make_transport,
+    resolve_provider_ref,
+)
+from repro.nas import RegularizedEvolution
+
+
+def semantics(trace):
+    """The score-relevant view of a trace: everything but timing."""
+    return [(r.candidate_id, r.arch_seq, r.score, r.ok, r.provider_id,
+             r.transferred, round(r.transfer_coverage, 12), r.parent_id)
+            for r in trace]
+
+
+def evolution(space):
+    return RegularizedEvolution(space, rng=0, population_size=4,
+                                sample_size=2)
+
+
+def search(problem, space, tmp_path, tag, n=10, **kw):
+    store = CheckpointStore(tmp_path / tag)
+    trace = run_search(problem, evolution(space), n, scheme="lcs",
+                       store=store, seed=0, **kw)
+    return trace, store
+
+
+# ---------------------------------------------------------------------------
+# determinism: fast path == sync path
+# ---------------------------------------------------------------------------
+
+def test_cached_async_trace_matches_synchronous_run(problem, space,
+                                                    tmp_path):
+    sync, _ = search(problem, space, tmp_path, "sync")
+    fast, _ = search(problem, space, tmp_path, "fast",
+                     cache=True, prefetch=True, async_io=True)
+    assert semantics(fast) == semantics(sync)
+    # the sync run books everything as blocked, the fast run hides some
+    assert sync.total_io_hidden == 0.0
+    assert sync.total_io_blocked == pytest.approx(sync.total_overhead)
+    assert fast.total_io_blocked < fast.total_overhead
+    assert fast.total_io_hidden > 0.0
+    assert fast.io_stats["cache"]["hits"] > 0
+
+
+def test_overhead_is_always_blocked_plus_hidden(problem, space, tmp_path):
+    for tag, kw in [("a", {}), ("b", dict(cache=True, async_io=True))]:
+        trace, _ = search(problem, space, tmp_path, tag, n=6, **kw)
+        for r in trace:
+            assert r.overhead == pytest.approx(r.io_blocked + r.io_hidden)
+
+
+def test_cache_only_run_matches_sync(problem, space, tmp_path):
+    sync, _ = search(problem, space, tmp_path, "sync", n=8)
+    cached, _ = search(problem, space, tmp_path, "cached", n=8,
+                       cache=WeightCache(max_bytes=64 * 1024 * 1024))
+    assert semantics(cached) == semantics(sync)
+    assert any(r.cache_hit for r in cached)
+    assert not any(r.cache_hit for r in sync)
+
+
+# ---------------------------------------------------------------------------
+# write-behind drain barrier
+# ---------------------------------------------------------------------------
+
+def test_drain_barrier_makes_every_checkpoint_durable(problem, space,
+                                                      tmp_path):
+    trace, store = search(problem, space, tmp_path, "wb", async_io=True,
+                          cache=True)
+    ok = trace.ok_records()
+    for r in ok:
+        key = checkpoint_key(r.candidate_id)
+        assert store.exists(key)
+        assert r.ckpt_bytes == store.nbytes(key)   # back-filled at drain
+        assert r.ckpt_bytes > 0
+    assert trace.io_stats["drain_seconds"] >= 0.0
+    # hidden write cost was attributed to the records that saved
+    assert sum(r.io_hidden for r in ok) > 0.0
+
+
+def test_async_children_still_transfer_from_pending_parents(problem, space,
+                                                            tmp_path):
+    # with SerialEvaluator every child's provider was saved write-behind
+    # just before — the cache/flush fallback must make it visible
+    sync, _ = search(problem, space, tmp_path, "s", n=10)
+    fast, _ = search(problem, space, tmp_path, "f", n=10, async_io=True)
+    assert semantics(fast) == semantics(sync)
+    assert any(r.transferred for r in fast.ok_records())
+
+
+# ---------------------------------------------------------------------------
+# zero-copy transport
+# ---------------------------------------------------------------------------
+
+def sample_weights():
+    rng = np.random.default_rng(7)
+    return {"conv.kernel": rng.normal(size=(3, 3, 2, 4)).astype(np.float32),
+            "dense.bias": rng.normal(size=6).astype(np.float64),
+            "scalar": np.float32(2.5) * np.ones((), dtype=np.float32)}
+
+
+@pytest.mark.parametrize("backend", [SharedMemoryTransport,
+                                     MmapFileTransport])
+def test_transport_round_trip_and_reuse(backend):
+    w = sample_weights()
+    with backend() as t:
+        h1 = t.publish("prov", w)
+        h2 = t.publish("prov", w)            # same key → same segment
+        assert h1 is h2
+        assert isinstance(h1, WeightHandle) and h1.kind == t.kind
+        out = load_handle_weights(h1)
+        assert list(out) == list(w)
+        for k in w:
+            assert np.array_equal(out[k], np.asarray(w[k]))
+            assert not out[k].flags.writeable
+        assert t.stats()["publishes"] == 1
+        assert t.stats()["reuses"] == 1
+        assert t.stats()["live_segments"] == 1
+
+
+@pytest.mark.parametrize("backend", [SharedMemoryTransport,
+                                     MmapFileTransport])
+def test_handles_survive_pickling(backend):
+    w = sample_weights()
+    with backend() as t:
+        handle = pickle.loads(pickle.dumps(t.publish("p", w)))
+        out = resolve_provider_ref(handle)
+        assert all(np.array_equal(out[k], np.asarray(w[k])) for k in w)
+
+
+def test_resolve_provider_ref_passthrough():
+    assert resolve_provider_ref(None) is None
+    d = {"a": np.zeros(2, dtype=np.float32)}
+    assert resolve_provider_ref(d) is d
+    with pytest.raises(TypeError):
+        resolve_provider_ref(42)
+
+
+def test_make_transport_normalisation():
+    assert make_transport(None) is None
+    assert make_transport(False) is None
+    assert isinstance(make_transport("shm"), SharedMemoryTransport)
+    assert isinstance(make_transport("mmap"), MmapFileTransport)
+    auto = make_transport("auto")
+    assert isinstance(auto, (SharedMemoryTransport, MmapFileTransport))
+    auto.close()
+    existing = MmapFileTransport()
+    assert make_transport(existing) is existing
+    existing.close()
+    with pytest.raises(ValueError):
+        make_transport("carrier-pigeon")
+
+
+def test_transport_release_and_close_destroy_segments(tmp_path):
+    t = MmapFileTransport(root=tmp_path / "seg")
+    h = t.publish("p", sample_weights())
+    import os
+    assert os.path.exists(h.name)
+    t.release("p")
+    assert not os.path.exists(h.name)
+    h2 = t.publish("q", sample_weights())
+    t.close()
+    assert not os.path.exists(h2.name)
+
+
+def test_serial_search_with_transport_matches_sync(problem, space,
+                                                   tmp_path):
+    sync, _ = search(problem, space, tmp_path, "s", n=8)
+    via_shm, _ = search(problem, space, tmp_path, "t", n=8,
+                        transport="auto")
+    assert semantics(via_shm) == semantics(sync)
+    assert via_shm.io_stats["transport"]["publishes"] > 0
+
+
+def test_process_pool_with_transport_matches_sync(problem, space,
+                                                  tmp_path):
+    from repro.cluster import ProcessPoolEvaluator
+
+    sync, _ = search(problem, space, tmp_path, "s", n=6)
+    ev = ProcessPoolEvaluator(num_workers=1)   # 1 worker ⇒ deterministic
+    try:
+        pooled, _ = search(problem, space, tmp_path, "p", n=6,
+                           evaluator=ev, cache=True, async_io=True)
+    finally:
+        ev.close()
+    assert semantics(pooled) == semantics(sync)
+    # transport auto-enables for process pools on transfer schemes
+    assert pooled.io_stats["transport"]["publishes"] > 0
+
+
+# ---------------------------------------------------------------------------
+# trace serialisation of the new fields
+# ---------------------------------------------------------------------------
+
+def test_trace_jsonl_round_trips_io_fields(problem, space, tmp_path):
+    fast, _ = search(problem, space, tmp_path, "fast", n=6, cache=True,
+                     async_io=True)
+    path = fast.save_jsonl(tmp_path / "fast.jsonl")
+    loaded = Trace.load_jsonl(path)
+    assert loaded.io_stats == fast.io_stats
+    for a, b in zip(loaded, fast):
+        assert (a.io_blocked, a.io_hidden, a.cache_hit) == \
+            (b.io_blocked, b.io_hidden, b.cache_hit)
+
+
+# ---------------------------------------------------------------------------
+# simulator cost-model parity
+# ---------------------------------------------------------------------------
+
+def sim(problem, tmp_path, tag, **kw):
+    store = CheckpointStore(tmp_path / tag)
+    cluster = SimulatedCluster(problem, store, num_gpus=4)
+    strat = RegularizedEvolution(problem.space, rng=0, population_size=4,
+                                 sample_size=2)
+    return cluster.run(strat, 10, scheme="lcs", seed=0, **kw)
+
+
+def test_sim_cache_and_async_keep_scores_and_cut_makespan(problem,
+                                                          tmp_path):
+    base = sim(problem, tmp_path, "base")
+    fast = sim(problem, tmp_path, "fast", cache=True, async_io=True)
+    assert [r.score for r in fast] == [r.score for r in base]
+    assert fast.makespan < base.makespan
+    assert fast.total_io_blocked < base.total_io_blocked
+    assert fast.total_io_hidden > 0.0
+    assert base.io_stats is None
+    assert fast.io_stats["cache"]["hits"] > 0
+    for r in fast:
+        assert r.overhead == pytest.approx(r.io_blocked + r.io_hidden)
+
+
+def test_sim_cost_model_has_fast_path_parameters():
+    cm = CostModel()
+    assert cm.cache_hit_seconds < cm.load_seconds(1)
+    nbytes = 1_000_000
+    assert cm.enqueue_seconds(nbytes) < cm.save_seconds(nbytes)
+    assert cm.enqueue_seconds(nbytes) == nbytes / cm.memcpy_bandwidth
