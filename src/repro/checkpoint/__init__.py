@@ -3,11 +3,12 @@
 from .cache import DEFAULT_CACHE_BYTES, WeightCache, make_cache, weights_nbytes
 from .multilevel import AsyncCheckpointWriter, MultiLevelStore
 from .prefetch import ProviderPrefetcher
-from .store import CheckpointInfo, CheckpointStore
+from .store import CheckpointInfo, CheckpointStore, CorruptCheckpointError
 
 __all__ = [
     "CheckpointStore",
     "CheckpointInfo",
+    "CorruptCheckpointError",
     "AsyncCheckpointWriter",
     "MultiLevelStore",
     "WeightCache",

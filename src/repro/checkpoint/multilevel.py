@@ -12,6 +12,10 @@ write failures are captured, never lost.  The first captured exception
 is re-raised by the next :meth:`AsyncCheckpointWriter.flush` (or
 :meth:`close`) call, after the queue has fully drained; captured errors
 are cleared once raised, so a later flush of healthy writes succeeds.
+Raising the first error does **not** discard the rest: every captured
+failure (key + exception repr) stays in :meth:`error_log`, which the
+scheduler's drain barrier surfaces as ``trace.io_stats["writer_errors"]``
+— a run that lost three checkpoints reports all three, not one.
 ``close`` always stops the worker thread, even when it re-raises.
 
 Backpressure: the queue is bounded.  ``save(..., block=True)`` (the
@@ -38,6 +42,7 @@ class AsyncCheckpointWriter:
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._lock = threading.Lock()
         self._errors: list[Exception] = []
+        self._error_log: list[tuple[str, str]] = []   # (key, repr) — kept
         self._results: dict[str, CheckpointInfo] = {}
         self._durations: dict[str, float] = {}
         self._pending: set[str] = set()
@@ -61,6 +66,7 @@ class AsyncCheckpointWriter:
             except Exception as exc:  # re-raised by the next flush/close
                 with self._lock:
                     self._errors.append(exc)
+                    self._error_log.append((key, repr(exc)))
             finally:
                 with self._lock:
                     self._pending.discard(key)
@@ -102,9 +108,17 @@ class AsyncCheckpointWriter:
         with self._lock:
             return dict(self._durations)
 
+    def error_log(self) -> list[tuple[str, str]]:
+        """Every write failure captured over the writer's lifetime as
+        ``(key, exception_repr)`` — unlike the flush contract's
+        raise-on-first-error, nothing is ever dropped from this log."""
+        with self._lock:
+            return list(self._error_log)
+
     def flush(self) -> None:
         """Block until the queue drains; raise the first captured write
-        error (clearing the captured set) — raise-on-first-error."""
+        error (clearing the pending set — but never :meth:`error_log`)
+        — raise-on-first-error."""
         self._queue.join()
         with self._lock:
             errors, self._errors = self._errors, []

@@ -19,8 +19,10 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from typing import Optional
 
 from .cache import WeightCache
+from .store import CorruptCheckpointError
 
 _STOP = object()
 
@@ -37,6 +39,8 @@ class ProviderPrefetcher:
         self.loaded = 0
         self.skipped = 0
         self.errors = 0
+        self.corrupt = 0
+        self.last_error: Optional[str] = None
         self.hidden_seconds = 0.0
         self._worker = threading.Thread(target=self._run, daemon=True)
         self._worker.start()
@@ -56,9 +60,15 @@ class ProviderPrefetcher:
                 with self._lock:
                     self.loaded += 1
                     self.hidden_seconds += dt
-            except Exception:               # advisory: consumer falls back
+            except Exception as exc:        # advisory: consumer falls back
+                # errors are *counted and surfaced*, never silently eaten:
+                # stats() feeds trace.io_stats["prefetch"] so a run that
+                # limped along on cold loads says so in its trace
                 with self._lock:
                     self.errors += 1
+                    if isinstance(exc, CorruptCheckpointError):
+                        self.corrupt += 1
+                    self.last_error = f"{key}: {exc!r}"
             finally:
                 with self._lock:
                     self._inflight.discard(key)
@@ -101,6 +111,8 @@ class ProviderPrefetcher:
                 "loaded": self.loaded,
                 "skipped": self.skipped,
                 "errors": self.errors,
+                "corrupt": self.corrupt,
+                "last_error": self.last_error,
                 "hidden_seconds": self.hidden_seconds,
             }
 

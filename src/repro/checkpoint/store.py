@@ -14,6 +14,7 @@ I/O cost model.
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -24,6 +25,24 @@ import numpy as np
 _ORDER_KEY = "__order__"
 #: Sidecar key for the user metadata in the new sidecar format.
 _META_KEY = "__meta__"
+#: Sidecar directory corrupt checkpoints are quarantined into.
+QUARANTINE_DIR = ".quarantine"
+
+
+class CorruptCheckpointError(Exception):
+    """``load`` found the checkpoint on disk but could not decode it
+    (truncated npz, bad zip magic, missing member, unreadable sidecar).
+
+    Distinct from :class:`FileNotFoundError` — the caller's recovery is
+    different: a corrupt checkpoint should be quarantined and the
+    candidate cold-started, a missing one is simply not a provider.
+    """
+
+    def __init__(self, key: str, path, cause: Exception):
+        super().__init__(f"corrupt checkpoint {key!r} at {path}: {cause!r}")
+        self.key = key
+        self.path = Path(path)
+        self.cause = cause
 
 
 @dataclass(frozen=True)
@@ -73,21 +92,57 @@ class CheckpointStore:
         return json.loads(mp.read_text())
 
     def load(self, key: str) -> dict[str, np.ndarray]:
-        """Ordered named tensors, insertion order preserved."""
+        """Ordered named tensors, insertion order preserved.
+
+        Raises :class:`CorruptCheckpointError` when the archive exists
+        but cannot be decoded (truncated/garbage npz, missing member,
+        malformed sidecar) — see :meth:`quarantine` for the recovery."""
         path = self.path(key)
-        sidecar = self._sidecar(key)
-        if sidecar is not None and _ORDER_KEY in sidecar:
-            order = [str(n) for n in sidecar[_ORDER_KEY]]
-            with np.load(path) as data:        # allow_pickle stays False
+        try:
+            sidecar = self._sidecar(key)
+            if sidecar is not None and _ORDER_KEY in sidecar:
+                order = [str(n) for n in sidecar[_ORDER_KEY]]
+                with np.load(path) as data:    # allow_pickle stays False
+                    return {name: data[name] for name in order}
+            # legacy archives: order index embedded as an object array
+            with np.load(path) as data:
+                if _ORDER_KEY not in data.files:
+                    # npz member order is zip-entry order == insertion order
+                    return {name: data[name] for name in data.files}
+            with np.load(path, allow_pickle=True) as data:
+                order = [str(n) for n in data[_ORDER_KEY]]
                 return {name: data[name] for name in order}
-        # legacy archives: order index embedded as an object array
-        with np.load(path) as data:
-            if _ORDER_KEY not in data.files:
-                # npz member order is zip-entry order == insertion order
-                return {name: data[name] for name in data.files}
-        with np.load(path, allow_pickle=True) as data:
-            order = [str(n) for n in data[_ORDER_KEY]]
-            return {name: data[name] for name in order}
+        except FileNotFoundError:
+            raise
+        except (ValueError, KeyError, OSError, EOFError,
+                zipfile.BadZipFile, json.JSONDecodeError) as exc:
+            raise CorruptCheckpointError(key, path, exc) from exc
+
+    # -- corrupt-checkpoint quarantine ----------------------------------
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
+    def quarantine(self, key: str) -> Path:
+        """Move a corrupt checkpoint (npz + sidecar) into the
+        ``.quarantine/`` sidecar directory so it stops poisoning loads
+        but stays on disk for post-mortem; returns the quarantined npz
+        path.  After quarantine ``exists(key)`` is False and the
+        scheduler cold-starts the candidate."""
+        qroot = self.quarantine_root
+        qroot.mkdir(parents=True, exist_ok=True)
+        dest = qroot / self.path(key).name
+        if self.path(key).exists():
+            self.path(key).replace(dest)
+        mp = self.meta_path(key)
+        if mp.exists():
+            mp.replace(qroot / mp.name)
+        return dest
+
+    def quarantined_keys(self) -> list[str]:
+        if not self.quarantine_root.exists():
+            return []
+        return sorted(p.stem for p in self.quarantine_root.glob("*.npz"))
 
     def load_meta(self, key: str) -> dict | None:
         sidecar = self._sidecar(key)

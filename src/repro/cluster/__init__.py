@@ -5,8 +5,21 @@ from .evaluator import (
     SerialEvaluator,
     ThreadPoolEvaluator,
 )
+from .resilience import (
+    ChaosEvaluator,
+    CorruptCheckpointError,
+    FaultStats,
+    InjectedFault,
+    RetryPolicy,
+    TaskError,
+    TaskFailure,
+    TaskTimeout,
+    TraceJournal,
+    WaitTimeout,
+    WorkerLost,
+)
 from .scheduler import SCHEMES, run_search
-from .simcluster import CostModel, SimulatedCluster
+from .simcluster import CostModel, FaultModel, SimulatedCluster
 from .trace import Trace, TraceRecord, checkpoint_key
 from .transport import (
     MmapFileTransport,
@@ -18,8 +31,11 @@ from .transport import (
 __all__ = [
     "run_search", "SCHEMES",
     "SerialEvaluator", "ThreadPoolEvaluator", "ProcessPoolEvaluator",
-    "SimulatedCluster", "CostModel",
+    "SimulatedCluster", "CostModel", "FaultModel",
     "Trace", "TraceRecord", "checkpoint_key",
     "SharedMemoryTransport", "MmapFileTransport", "WeightHandle",
     "make_transport",
+    "ChaosEvaluator", "CorruptCheckpointError", "FaultStats",
+    "InjectedFault", "RetryPolicy", "TaskError", "TaskFailure",
+    "TaskTimeout", "TraceJournal", "WaitTimeout", "WorkerLost",
 ]

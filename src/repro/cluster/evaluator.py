@@ -1,10 +1,24 @@
 """Evaluators: where candidate training actually executes (Fig. 6 (4)).
 
 All three expose the same tiny interface — ``submit(task) -> ticket`` and
-``wait_any() -> (ticket, result)`` — so the scheduler code is identical
-over serial, thread-pool and process-pool execution.  ``task`` must be a
-picklable zero-argument callable for the process pool; the scheduler
-passes module-level functions with picklable arguments.
+``wait_any(timeout=None) -> (ticket, result)`` — so the scheduler code is
+identical over serial, thread-pool and process-pool execution.  ``task``
+must be a picklable zero-argument callable for the process pool; the
+scheduler passes module-level functions with picklable arguments.
+
+Failure containment (DESIGN.md "Fault tolerance"): a raising task never
+escapes ``wait_any`` as an exception.  Its ticket comes back paired with
+a :class:`repro.cluster.resilience.TaskFailure` carrying the original
+error and its taxonomy kind, so the scheduler books a failed record or a
+retry instead of crashing the search.  Three more resilience hooks:
+
+- ``wait_any(timeout=...)`` raises :class:`WaitTimeout` when nothing
+  completes in time — the scheduler's per-task deadline sweep;
+- ``abandon(ticket)`` disowns an in-flight task (a hung straggler past
+  its deadline); its eventual completion is silently discarded;
+- a broken process pool (a worker died mid-task) is rebuilt in place:
+  every in-flight future resolves as a ``WorkerLost`` failure and
+  subsequent submits land on a fresh pool (``pool_rebuilds`` counts).
 """
 
 from __future__ import annotations
@@ -13,7 +27,9 @@ import concurrent.futures as cf
 import queue
 import threading
 from collections import deque
-from typing import Callable
+from typing import Callable, Optional
+
+from .resilience import TaskFailure, WaitTimeout
 
 #: Attributes the R004 lint rule holds to the lock discipline: shared
 #: mutable state that both the submitting thread and any thread calling
@@ -22,9 +38,14 @@ _GUARDED_ATTRS = ("_futures",)
 
 
 class SerialEvaluator:
-    """Run each task inline on submit; wait_any pops completed results."""
+    """Run each task inline on submit; wait_any pops completed results.
+
+    A raising task is contained at submit time: the ticket sequence
+    stays intact and ``wait_any`` hands back a :class:`TaskFailure` for
+    it, exactly like the pools do."""
 
     num_workers = 1
+    pool_rebuilds = 0        # serial: no pool to lose
 
     def __init__(self):
         self._done: deque[tuple[int, object]] = deque()
@@ -33,13 +54,22 @@ class SerialEvaluator:
     def submit(self, task: Callable[[], object]) -> int:
         ticket = self._next
         self._next += 1
-        self._done.append((ticket, task()))
+        try:
+            outcome: object = task()
+        except Exception as exc:          # contained, not raised
+            outcome = TaskFailure(exc)
+        self._done.append((ticket, outcome))
         return ticket
 
-    def wait_any(self):
+    def wait_any(self, timeout: Optional[float] = None):
+        # timeout accepted for interface parity; results are already done
         if not self._done:
             raise RuntimeError("no pending tasks")
         return self._done.popleft()   # FIFO, O(1) (list.pop(0) was O(n))
+
+    def abandon(self, ticket: int) -> None:
+        """Drop a completed-but-unclaimed ticket (deadline parity)."""
+        self._done = deque((t, r) for t, r in self._done if t != ticket)
 
     @property
     def in_flight(self) -> int:
@@ -69,6 +99,7 @@ class _PoolEvaluator:
         self._futures: dict[cf.Future, int] = {}
         self._done: queue.SimpleQueue[cf.Future] = queue.SimpleQueue()
         self._next = 0
+        self.pool_rebuilds = 0
         # guards _futures: several scheduler threads may submit/drain the
         # same evaluator concurrently (see _GUARDED_ATTRS / lint R004)
         self._lock = threading.Lock()
@@ -84,18 +115,61 @@ class _PoolEvaluator:
         fut.add_done_callback(self._done.put)
         return ticket
 
-    def wait_any(self):
-        # the emptiness check must also hold the lock: an unlocked read
-        # races concurrent drains — two waiters could both observe a
-        # single outstanding future and the loser would block forever on
-        # an empty done-queue instead of raising
+    def wait_any(self, timeout: Optional[float] = None):
+        """Next ``(ticket, result)``; a raising task yields a
+        :class:`TaskFailure` result instead of raising here.  With a
+        ``timeout``, raises :class:`WaitTimeout` when nothing completes
+        in time (the deadline sweep re-enters with a fresh budget)."""
+        while True:
+            # the emptiness check must also hold the lock: an unlocked
+            # read races concurrent drains — two waiters could both
+            # observe a single outstanding future and the loser would
+            # block forever on an empty done-queue instead of raising
+            with self._lock:
+                if not self._futures:
+                    raise RuntimeError("no pending tasks")
+            try:
+                fut = self._done.get(timeout=timeout)
+            except queue.Empty:
+                raise WaitTimeout(f"no completion within {timeout}s")
+            with self._lock:
+                ticket = self._futures.pop(fut, None)
+            if ticket is None:
+                continue                  # abandoned ticket: discard
+            try:
+                return ticket, fut.result()
+            except cf.CancelledError as exc:   # BaseException since 3.8
+                return ticket, TaskFailure(exc)
+            except cf.BrokenExecutor as exc:
+                # the pool is gone: heal it so the remaining in-flight
+                # futures (all erroring the same way) and future submits
+                # find a live executor, and report this task WorkerLost
+                self._rebuild()
+                return ticket, TaskFailure(exc)
+            except Exception as exc:
+                return ticket, TaskFailure(exc)
+
+    def abandon(self, ticket: int) -> None:
+        """Disown an in-flight task (deadline exceeded).  Queued tasks
+        are cancelled; a running task cannot be preempted, but its
+        eventual completion is discarded by ``wait_any``."""
         with self._lock:
-            if not self._futures:
-                raise RuntimeError("no pending tasks")
-        fut = self._done.get()
-        with self._lock:
-            ticket = self._futures.pop(fut)
-        return ticket, fut.result()
+            fut = next((f for f, t in self._futures.items()
+                        if t == ticket), None)
+            if fut is not None:
+                del self._futures[fut]
+        if fut is not None:
+            fut.cancel()
+
+    def _rebuild(self) -> None:
+        """Replace a broken executor with a fresh one in place."""
+        old = self._pool
+        self._pool = self._executor_cls(max_workers=self.num_workers)
+        self.pool_rebuilds += 1
+        try:
+            old.shutdown(wait=False)
+        except Exception:
+            pass                          # the pool is already dead
 
     @property
     def in_flight(self) -> int:

@@ -1,0 +1,405 @@
+"""Fault-tolerant execution layer for cluster-scale NAS (DESIGN.md
+"Fault tolerance").
+
+At the paper's scale (32 A100s, multi-day campaigns) worker crashes,
+stragglers and corrupt checkpoints are the norm, not the exception.
+This module gives the scheduler everything it needs to survive them:
+
+- a **typed fault taxonomy** (:class:`TaskError`, :class:`TaskTimeout`,
+  :class:`WorkerLost`, plus :class:`CorruptCheckpointError` from the
+  checkpoint store) so failures are classified, counted and retried by
+  kind instead of crashing the ask→submit→tell loop;
+- :class:`TaskFailure` — the value an evaluator hands back in place of a
+  result when its task raised; the scheduler turns it into a failed
+  :class:`TraceRecord` (``FAILURE_SCORE`` path) or a retry;
+- :class:`RetryPolicy` — bounded retry with exponential backoff and
+  seeded jitter;
+- :class:`FaultStats` — the per-run fault counters that serialize into
+  ``trace.fault_stats`` and round-trip through the trace jsonl;
+- :class:`TraceJournal` — an append-only jsonl journal of completed
+  records, flushed as each record lands, so a killed run resumes from
+  its last durable candidate (``run_search(resume=path)``);
+- :class:`ChaosEvaluator` — a seeded fault-injection wrapper over any
+  evaluator (crash / hang / corrupt-result probabilities) for measuring
+  search behaviour under controlled failure rates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..checkpoint.store import CorruptCheckpointError
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "TaskError", "TaskTimeout", "WorkerLost", "InjectedFault",
+    "CorruptCheckpointError", "WaitTimeout", "TaskFailure",
+    "classify_failure", "RetryPolicy", "FaultStats", "TraceJournal",
+    "ChaosEvaluator",
+]
+
+
+# ---------------------------------------------------------------------------
+# fault taxonomy
+# ---------------------------------------------------------------------------
+
+class TaskError(Exception):
+    """A candidate-evaluation task raised — the generic contained fault."""
+
+
+class TaskTimeout(TaskError):
+    """A task exceeded its per-task deadline and was abandoned."""
+
+
+class WorkerLost(TaskError):
+    """The worker executing a task died (e.g. a broken process pool)."""
+
+
+class InjectedFault(TaskError):
+    """A fault deliberately injected by :class:`ChaosEvaluator`."""
+
+
+class WaitTimeout(Exception):
+    """``wait_any(timeout=...)`` ran out of time with no completion.
+
+    Control-flow signal for the scheduler's deadline sweep — not a task
+    fault itself, so deliberately outside the :class:`TaskError` tree.
+    """
+
+
+#: kind labels used in FaultStats counters, keyed by taxonomy class
+_KIND_LABELS = (
+    (TaskTimeout, "timeout"),
+    (WorkerLost, "worker_lost"),
+    (InjectedFault, "injected"),
+    (CorruptCheckpointError, "corrupt_checkpoint"),
+)
+
+
+def classify_failure(error: BaseException) -> str:
+    """Taxonomy label for a contained task exception."""
+    for cls, label in _KIND_LABELS:
+        if isinstance(error, cls):
+            return label
+    import concurrent.futures as _cf
+    if isinstance(error, _cf.BrokenExecutor):
+        return "worker_lost"
+    return "task_error"
+
+
+class TaskFailure:
+    """What an evaluator returns instead of a result when its task
+    raised.  Carries the original exception and its taxonomy kind so the
+    scheduler can book the fault and decide whether to retry."""
+
+    __slots__ = ("error", "kind")
+
+    def __init__(self, error: BaseException, kind: Optional[str] = None):
+        self.error = error
+        self.kind = kind or classify_failure(error)
+
+    def __repr__(self):
+        return f"<TaskFailure {self.kind}: {self.error!r}>"
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    ``max_attempts`` counts the first attempt: ``RetryPolicy(1)`` never
+    retries (containment only), ``RetryPolicy(3)`` allows two retries.
+    The backoff before retry *k* (1-based) is
+    ``base_delay * 2**(k-1) + U(0, jitter)`` seconds, capped at
+    ``max_delay``; jitter draws come from the scheduler's seeded rng so
+    retry schedules are reproducible.
+    """
+
+    def __init__(self, max_attempts: int = 3, base_delay: float = 0.05,
+                 jitter: float = 0.02, max_delay: float = 5.0):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or jitter < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.jitter = float(jitter)
+        self.max_delay = float(max_delay)
+
+    def should_retry(self, attempt: int) -> bool:
+        """True when attempt number ``attempt`` (1-based) may be retried."""
+        return attempt < self.max_attempts
+
+    def delay(self, attempt: int, rng=None) -> float:
+        """Backoff seconds before the retry that follows ``attempt``."""
+        backoff = self.base_delay * (2.0 ** (attempt - 1))
+        if self.jitter and rng is not None:
+            backoff += float(rng.uniform(0.0, self.jitter))
+        return min(backoff, self.max_delay)
+
+    def __repr__(self):
+        return (f"RetryPolicy(max_attempts={self.max_attempts}, "
+                f"base_delay={self.base_delay}, jitter={self.jitter})")
+
+
+# ---------------------------------------------------------------------------
+# fault accounting
+# ---------------------------------------------------------------------------
+
+class FaultStats:
+    """Per-run fault counters; serializes into ``trace.fault_stats``.
+
+    ``by_kind`` counts every contained fault by taxonomy label;
+    ``retries`` counts resubmissions; ``failed_records`` counts
+    candidates that exhausted their retry budget and landed as failed
+    trace records; ``quarantined`` counts corrupt checkpoints moved to
+    the store's ``.quarantine/`` sidecar directory.
+    """
+
+    def __init__(self):
+        self.by_kind: dict[str, int] = {}
+        self.retries = 0
+        self.failed_records = 0
+        self.quarantined = 0
+        self.pool_rebuilds = 0
+        self.backoff_seconds = 0.0
+
+    def record_fault(self, kind: str) -> None:
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.by_kind.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "by_kind": dict(self.by_kind),
+            "total_faults": self.total_faults,
+            "retries": self.retries,
+            "failed_records": self.failed_records,
+            "quarantined": self.quarantined,
+            "pool_rebuilds": self.pool_rebuilds,
+            "backoff_seconds": self.backoff_seconds,
+        }
+
+
+# ---------------------------------------------------------------------------
+# resumable trace journal
+# ---------------------------------------------------------------------------
+
+class TraceJournal:
+    """Append-only jsonl journal of completed trace records.
+
+    Line 1 is a header (name / scheme, same shape as the trace jsonl);
+    every subsequent line is one completed :class:`TraceRecord` in
+    completion order, flushed + fsynced as it lands so a killed run
+    loses at most the in-flight candidates.  ``replay`` reads a journal
+    back into ``(header, records)`` so ``run_search(resume=path)`` can
+    restore strategy state and continue from the last durable candidate.
+    Truncated final lines (the crash case) are skipped, not fatal.
+    """
+
+    def __init__(self, path, *, name: str = "trace",
+                 scheme: str = "baseline", append: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        write_header = not (append and self.path.exists()
+                            and self.path.stat().st_size > 0)
+        self._fh = open(self.path, "a" if append else "w")
+        if write_header:
+            self._write({"name": name, "scheme": scheme, "journal": True})
+        self._closed = False
+
+    def _write(self, obj: dict) -> None:
+        self._fh.write(json.dumps(obj) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append(self, record: TraceRecord) -> None:
+        """Durably append one completed record."""
+        self._write(asdict(record))
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._fh.close()
+
+    def __enter__(self) -> "TraceJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- replay ---------------------------------------------------------
+    @staticmethod
+    def replay(path) -> tuple[dict, list[TraceRecord]]:
+        """Read a journal back; returns ``(header, records)``.  A
+        torn/truncated trailing line — the artifact of a mid-write kill —
+        is dropped silently; anything else malformed raises."""
+        path = Path(path)
+        records: list[TraceRecord] = []
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            return {}, records
+        header = json.loads(lines[0])
+        for i, line in enumerate(lines[1:], start=1):
+            if not line.strip():
+                continue
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break                  # torn final line: crash artifact
+                raise
+            d["arch_seq"] = tuple(d["arch_seq"])
+            records.append(TraceRecord(**d))
+        return header, records
+
+    @staticmethod
+    def to_trace(path) -> Trace:
+        """Load a journal as a :class:`Trace` (e.g. for analysis of a
+        run that never reached its drain barrier)."""
+        header, records = TraceJournal.replay(path)
+        trace = Trace(name=header.get("name", "trace"),
+                      scheme=header.get("scheme", "baseline"))
+        for r in records:
+            trace.append(r)
+        return trace
+
+
+# ---------------------------------------------------------------------------
+# chaos fault injection
+# ---------------------------------------------------------------------------
+
+class _ChaosTask:
+    """Picklable task wrapper carrying the fault decision made at submit
+    time (so injection is deterministic under any evaluator, including
+    process pools where the worker-side rng state is unknowable)."""
+
+    __slots__ = ("task", "action", "hang_seconds")
+
+    def __init__(self, task, action: Optional[str],
+                 hang_seconds: float = 0.0):
+        self.task = task
+        self.action = action
+        self.hang_seconds = hang_seconds
+
+    def __call__(self):
+        if self.action == "crash":
+            raise InjectedFault("chaos: injected worker crash")
+        if self.action == "hang":
+            time.sleep(self.hang_seconds)
+            return self.task()
+        result = self.task()
+        if self.action == "corrupt":
+            return _corrupt_result(result)
+        return result
+
+
+def _corrupt_result(result):
+    """Corrupt an estimation result the way a flaky node would: the
+    score comes back non-finite.  The scheduler's result validation
+    turns this into a contained ``task_error`` fault."""
+    if hasattr(result, "score"):
+        try:
+            result.score = float("nan")
+            return result
+        except AttributeError:      # frozen dataclass etc.
+            pass
+    return float("nan")
+
+
+class ChaosEvaluator:
+    """Seeded fault-injection wrapper over any evaluator.
+
+    Each submitted task independently draws one fault action from the
+    wrapper's own rng: ``crash`` (raises :class:`InjectedFault` on the
+    worker), ``hang`` (sleeps ``hang_seconds`` before running — pair
+    with ``run_search(task_timeout=...)`` to exercise the deadline
+    path), or ``corrupt`` (the result's score comes back NaN).  Retried
+    tasks re-draw, so with ``crash_prob=p`` and ``max_attempts=a`` a
+    candidate is lost with probability ``p**a``.  Because the draw
+    happens at submit time on the (serial) scheduler thread, a seeded
+    chaos schedule is reproducible run-to-run.
+    """
+
+    def __init__(self, evaluator, *, crash_prob: float = 0.0,
+                 hang_prob: float = 0.0, corrupt_prob: float = 0.0,
+                 hang_seconds: float = 0.25, seed: int = 0):
+        total = crash_prob + hang_prob + corrupt_prob
+        if not 0.0 <= total <= 1.0:
+            raise ValueError("fault probabilities must sum to [0, 1]")
+        self.evaluator = evaluator
+        self.crash_prob = float(crash_prob)
+        self.hang_prob = float(hang_prob)
+        self.corrupt_prob = float(corrupt_prob)
+        self.hang_seconds = float(hang_seconds)
+        self.rng = np.random.default_rng(seed)
+        self.injected: dict[str, int] = {"crash": 0, "hang": 0,
+                                         "corrupt": 0}
+        self.submitted = 0
+
+    def _draw_action(self) -> Optional[str]:
+        u = float(self.rng.uniform())
+        if u < self.crash_prob:
+            return "crash"
+        if u < self.crash_prob + self.hang_prob:
+            return "hang"
+        if u < self.crash_prob + self.hang_prob + self.corrupt_prob:
+            return "corrupt"
+        return None
+
+    def submit(self, task) -> int:
+        self.submitted += 1
+        action = self._draw_action()
+        if action is not None:
+            self.injected[action] += 1
+            task = _ChaosTask(task, action, self.hang_seconds)
+        return self.evaluator.submit(task)
+
+    # -- delegation -----------------------------------------------------
+    def wait_any(self, timeout: Optional[float] = None):
+        return self.evaluator.wait_any(timeout=timeout)
+
+    def abandon(self, ticket: int) -> None:
+        self.evaluator.abandon(ticket)
+
+    @property
+    def num_workers(self) -> int:
+        return self.evaluator.num_workers
+
+    @property
+    def in_flight(self) -> int:
+        return self.evaluator.in_flight
+
+    @property
+    def pool_rebuilds(self) -> int:
+        return getattr(self.evaluator, "pool_rebuilds", 0)
+
+    def close(self) -> None:
+        self.evaluator.close()
+
+    def stats(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "injected": dict(self.injected),
+            "crash_prob": self.crash_prob,
+            "hang_prob": self.hang_prob,
+            "corrupt_prob": self.corrupt_prob,
+        }
+
+    def __enter__(self) -> "ChaosEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -36,24 +36,69 @@ unchanged), split into ``record.io_blocked`` (actually stalled the
 ask→submit→tell loop) and ``record.io_hidden`` (absorbed by the
 prefetch reader or the write-behind writer).  Synchronous runs have
 ``io_hidden == 0`` and ``io_blocked == overhead``.
+
+Fault tolerance (DESIGN.md "Fault tolerance"): worker exceptions never
+crash the loop.  An evaluator hands back a
+:class:`repro.cluster.resilience.TaskFailure` for a raising task; the
+scheduler books the fault by taxonomy kind, retries it under the
+``retry`` policy (bounded, backoff with a *dedicated* jitter rng so the
+provider-policy rng stream is untouched), and exhausted retries land as
+failed records on the ``FAILURE_SCORE`` path — identical to how an
+unbuildable architecture has always been handled.  ``task_timeout``
+sets a per-task deadline (pool evaluators only: serial tasks run inline
+on submit); overdue tickets are abandoned and retried.  A corrupt
+provider checkpoint is quarantined into the store's ``.quarantine/``
+directory and the candidate cold-starts.  ``journal=`` appends every
+completed record durably to a jsonl :class:`TraceJournal` as it lands,
+and ``resume=`` replays such a journal — restoring strategy state via
+:meth:`Strategy.restore` — so a killed run continues from its last
+durable candidate with already-completed records bit-identical.  All
+fault counters serialize into ``trace.fault_stats``.
 """
 
 from __future__ import annotations
 
 import functools
 import time
-from typing import Optional
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
 
 import numpy as np
 
-from ..checkpoint import AsyncCheckpointWriter, ProviderPrefetcher, make_cache
-from ..nas.estimation import estimate_candidate
+from ..checkpoint import (
+    AsyncCheckpointWriter,
+    CorruptCheckpointError,
+    ProviderPrefetcher,
+    make_cache,
+)
+from ..nas.estimation import FAILURE_SCORE, estimate_candidate
 from ..transfer.policy import get_policy
 from .evaluator import ProcessPoolEvaluator, SerialEvaluator
+from .resilience import (
+    ChaosEvaluator,
+    FaultStats,
+    RetryPolicy,
+    TaskFailure,
+    TaskTimeout,
+    TraceJournal,
+    WaitTimeout,
+)
 from .trace import Trace, TraceRecord, checkpoint_key
 from .transport import make_transport, resolve_provider_ref
 
 SCHEMES = ("baseline", "lp", "lcs")
+
+
+@dataclass
+class _Pending:
+    """One in-flight candidate: everything needed to finalize it — or
+    resubmit the very same task when its worker crashes or hangs."""
+
+    record: TraceRecord
+    task: Callable[[], object]
+    attempt: int = 1
+    deadline: Optional[float] = None      # monotonic, None = no deadline
 
 
 def _evaluate_task(problem, arch_seq, seed, provider_ref, matcher,
@@ -75,7 +120,9 @@ def run_search(problem, strategy, num_candidates: int, *,
                provider_policy="parent", seed: int = 0,
                static_gate=None, name: Optional[str] = None,
                cache=None, prefetch: bool = False, async_io=False,
-               transport=None) -> Trace:
+               transport=None, retry: Optional[RetryPolicy] = None,
+               task_timeout: Optional[float] = None,
+               journal=None, resume=None) -> Trace:
     """Run one NAS estimation phase; returns the completed :class:`Trace`.
 
     ``static_gate`` enables pre-flight static screening: pass ``True``
@@ -90,12 +137,21 @@ def run_search(problem, strategy, num_candidates: int, *,
     fully synchronous paper configuration.  Fast-path runs produce
     semantically identical traces (same scores, same transfer stats) —
     only the ``io_blocked``/``io_hidden`` split changes.
+
+    ``retry`` / ``task_timeout`` / ``journal`` / ``resume`` select the
+    fault-tolerance layer (module docstring).  Containment is always
+    on — a crashing worker yields a failed record, never a crashed
+    search; ``retry`` additionally resubmits contained faults
+    (``RetryPolicy(max_attempts=1)`` ≡ no retries, the default).
+    ``resume`` replays a :class:`TraceJournal` written by ``journal=``
+    (passing only ``resume=`` keeps journaling to the same path).
     """
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}, expected {SCHEMES}")
     transfers = scheme != "baseline"
     if transfers and store is None:
         raise ValueError(f"scheme {scheme!r} needs a checkpoint store")
+    retry = retry or RetryPolicy(max_attempts=1)
     if static_gate is True:
         from ..analysis import PreflightGate
         static_gate = PreflightGate(problem.space)
@@ -126,14 +182,40 @@ def run_search(problem, strategy, num_candidates: int, *,
     saved_keys: set[str] = set()   # keys saved this run (disk or enqueued)
 
     rng = np.random.default_rng(seed)
+    # jitter draws come from a dedicated stream so retries never perturb
+    # provider selection — a chaos run with jitter still replays the
+    # same providers (and therefore scores) as a clean run
+    retry_rng = np.random.default_rng((seed, 0x5EED))
+    fault_stats = FaultStats()
     trace = Trace(name=name or f"{problem.name}-{scheme}", scheme=scheme)
     t0 = time.perf_counter()
-    pending: dict[int, TraceRecord] = {}  # ticket -> partial record
+    pending: dict[int, _Pending] = {}     # ticket -> in-flight candidate
     submitted = completed = 0
+
+    # -- resumable journal: replay completed records, keep appending ----
+    journal_path = journal if journal is not None else resume
+    journal_obj: Optional[TraceJournal] = None
+    resumed_records = 0
+    if resume is not None and Path(resume).exists() \
+            and Path(resume).stat().st_size > 0:
+        _, replayed = TraceJournal.replay(resume)
+        replayed = replayed[:num_candidates]
+        strategy.restore(replayed)
+        for r in replayed:
+            trace.append(r)
+            completed += 1
+            submitted = max(submitted, r.candidate_id + 1)
+        resumed_records = len(replayed)
+    if journal_path is not None:
+        journal_obj = TraceJournal(journal_path, name=trace.name,
+                                   scheme=scheme,
+                                   append=resumed_records > 0)
 
     def load_provider(key: str, record: TraceRecord):
         """Provider weights via cache → disk → pending-writer fallback;
-        returns None when the checkpoint does not exist anywhere."""
+        returns None when the checkpoint does not exist anywhere — or
+        turned out corrupt, in which case it is quarantined and the
+        candidate cold-starts."""
         if weight_cache is not None:
             weights = weight_cache.get(key)
             if weights is not None:
@@ -144,10 +226,23 @@ def run_search(problem, strategy, num_candidates: int, *,
         if key not in saved_keys and not store.exists(key):
             return None
         io0 = time.perf_counter()
-        if writer is not None and not store.exists(key):
-            # enqueued but not yet durable (rare: cache evicted or off)
-            writer.flush()
-        weights = store.load(key)
+        try:
+            if writer is not None and not store.exists(key):
+                # enqueued but not yet durable (rare: cache evicted or off)
+                writer.flush()
+            weights = store.load(key)
+        except CorruptCheckpointError:
+            record.add_io_blocked(time.perf_counter() - io0)
+            fault_stats.record_fault("corrupt_checkpoint")
+            fault_stats.quarantined += 1
+            store.quarantine(key)
+            saved_keys.discard(key)
+            if weight_cache is not None:
+                weight_cache.discard(key)
+            return None                    # cold-start fallback
+        except FileNotFoundError:
+            record.add_io_blocked(time.perf_counter() - io0)
+            return None
         record.add_io_blocked(time.perf_counter() - io0)
         if weight_cache is not None:
             weight_cache.put(key, weights)
@@ -188,41 +283,129 @@ def run_search(problem, strategy, num_candidates: int, *,
             _evaluate_task, problem, record.arch_seq, seed + candidate_id,
             provider_ref, scheme if transfers else "lcs", transfers,
         )
-        ticket = evaluator.submit(task)
-        pending[ticket] = record
+        dispatch(_Pending(record, task))
 
-    def complete_one():
+    def dispatch(pend: _Pending):
+        """(Re)submit a pending candidate's task to the evaluator."""
+        if task_timeout is not None:
+            pend.deadline = time.monotonic() + task_timeout
+        ticket = evaluator.submit(pend.task)
+        pending[ticket] = pend
+
+    def finalize(pend: _Pending, record_update) -> None:
+        """Book one completed candidate (success or exhausted failure):
+        journal + tell + append, in that order, so the journal is at
+        least as durable as anything derived from the trace."""
         nonlocal completed
-        ticket, result = evaluator.wait_any()
-        record = pending.pop(ticket)
+        record = pend.record
         record.end_time = time.perf_counter() - t0
-        record.ok = result.ok
-        record.score = result.score
-        record.num_params = result.num_params
-        if result.transfer_stats is not None:
-            record.transferred = result.transfer_stats.transferred
-            record.transfer_coverage = result.transfer_stats.coverage
-        if transfers and result.ok and result.weights is not None:
-            key = checkpoint_key(record.candidate_id)
-            meta = {"arch_seq": list(record.arch_seq),
-                    "score": record.score, "scheme": scheme}
-            io0 = time.perf_counter()
-            if writer is not None:
-                # write-behind: only the snapshot + enqueue blocks here;
-                # the npz write lands in io_hidden at the drain barrier
-                writer.save(key, result.weights, meta=meta)
-            else:
-                info = store.save(key, result.weights, meta=meta)
-                record.ckpt_bytes = info.nbytes
-            record.add_io_blocked(time.perf_counter() - io0)
-            saved_keys.add(key)
-            if weight_cache is not None:
-                # write-through: children of this candidate hit in memory
-                weight_cache.put(key, result.weights)
+        record.attempts = pend.attempt
+        record_update(record)
+        if journal_obj is not None:
+            journal_obj.append(record)
         strategy.tell(record.candidate_id, record.arch_seq, record.score)
         trace.append(record)
         completed += 1
         request_prefetch()
+
+    def contain_failure(pend: _Pending, failure: TaskFailure) -> None:
+        """The containment decision: resubmit under the retry policy or
+        land the candidate as a failed record on the FAILURE_SCORE path."""
+        fault_stats.record_fault(failure.kind)
+        if retry.should_retry(pend.attempt):
+            delay = retry.delay(pend.attempt, retry_rng)
+            if delay > 0.0:
+                time.sleep(delay)
+                fault_stats.backoff_seconds += delay
+            pend.attempt += 1
+            fault_stats.retries += 1
+            dispatch(pend)
+            return
+        fault_stats.failed_records += 1
+
+        def mark_failed(record: TraceRecord):
+            record.ok = False
+            record.score = FAILURE_SCORE
+            record.error = f"{failure.kind}: {failure.error}"
+        finalize(pend, mark_failed)
+
+    def complete_success(pend: _Pending, result) -> None:
+        def apply(record: TraceRecord):
+            record.ok = result.ok
+            record.score = result.score
+            record.num_params = result.num_params
+            record.error = result.error
+            if result.transfer_stats is not None:
+                record.transferred = result.transfer_stats.transferred
+                record.transfer_coverage = result.transfer_stats.coverage
+            if transfers and result.ok and result.weights is not None:
+                key = checkpoint_key(record.candidate_id)
+                meta = {"arch_seq": list(record.arch_seq),
+                        "score": record.score, "scheme": scheme}
+                io0 = time.perf_counter()
+                if writer is not None:
+                    # write-behind: only the snapshot + enqueue blocks
+                    # here; the npz write lands in io_hidden at the
+                    # drain barrier
+                    writer.save(key, result.weights, meta=meta)
+                else:
+                    info = store.save(key, result.weights, meta=meta)
+                    record.ckpt_bytes = info.nbytes
+                record.add_io_blocked(time.perf_counter() - io0)
+                saved_keys.add(key)
+                if weight_cache is not None:
+                    # write-through: children of this candidate hit in
+                    # memory
+                    weight_cache.put(key, result.weights)
+        finalize(pend, apply)
+
+    def sweep_deadlines() -> None:
+        """Abandon every overdue in-flight ticket and contain it as a
+        TaskTimeout (retry or failed record)."""
+        now = time.monotonic()
+        overdue = [t for t, p in pending.items()
+                   if p.deadline is not None and p.deadline <= now]
+        for ticket in overdue:
+            abandon = getattr(evaluator, "abandon", None)
+            if abandon is not None:
+                abandon(ticket)
+            pend = pending.pop(ticket)
+            contain_failure(pend, TaskFailure(TaskTimeout(
+                f"candidate {pend.record.candidate_id} exceeded "
+                f"{task_timeout}s deadline (attempt {pend.attempt})")))
+
+    def complete_one():
+        """Wait for the next completion and consume it.  May complete
+        zero records (a retry resubmission) — the outer loop re-checks.
+
+        The submitted = completed + len(pending) invariant means every
+        submitted candidate lands as exactly one record, ok or failed."""
+        if task_timeout is not None:
+            earliest = min((p.deadline for p in pending.values()
+                            if p.deadline is not None),
+                           default=None)
+            budget = None if earliest is None else \
+                max(0.0, earliest - time.monotonic())
+            try:
+                ticket, result = evaluator.wait_any(timeout=budget)
+            except WaitTimeout:
+                sweep_deadlines()
+                return
+        else:
+            ticket, result = evaluator.wait_any()
+        pend = pending.pop(ticket)
+        if isinstance(result, TaskFailure):
+            contain_failure(pend, result)
+            return
+        if getattr(result, "ok", False) and \
+                not np.isfinite(getattr(result, "score", float("nan"))):
+            # corrupt result (a flaky node returned garbage): contained
+            # as a task_error, retried like any other fault
+            contain_failure(pend, TaskFailure(
+                Exception(f"corrupt result: non-finite score "
+                          f"{result.score!r}"), kind="corrupt_result"))
+            return
+        complete_success(pend, result)
 
     max_in_flight = getattr(evaluator, "num_workers", 1)
     try:
@@ -234,6 +417,8 @@ def run_search(problem, strategy, num_candidates: int, *,
     finally:
         if prefetcher is not None:
             prefetcher.close()
+        if journal_obj is not None:
+            journal_obj.close()
 
     # -- drain barrier: make every write-behind save durable and book
     # its hidden cost before the trace is finalized -------------------
@@ -241,7 +426,14 @@ def run_search(problem, strategy, num_candidates: int, *,
     if writer is not None:
         try:
             drain0 = time.perf_counter()
-            writer.flush()            # raise-on-first-error contract
+            try:
+                writer.flush()        # raise-on-first-error contract …
+            except Exception as exc:
+                # … but a completed search is worth more than a lost
+                # checkpoint write: contain it (the full error list is
+                # surfaced below), don't discard the whole trace
+                fault_stats.record_fault("ckpt_write")
+                io_stats["drain_error"] = repr(exc)
             io_stats["drain_seconds"] = time.perf_counter() - drain0
             infos = writer.results()
             durations = writer.durations()
@@ -252,8 +444,16 @@ def run_search(problem, strategy, num_candidates: int, *,
                 if key in saved_keys and key in durations:
                     record.add_io_hidden(durations[key])
         finally:
+            # every captured write failure, not just the first raised
+            errors = writer.error_log()
+            if errors:
+                io_stats["writer_errors"] = [
+                    f"{key}: {msg}" for key, msg in errors]
             if owns_writer:
-                writer.close()
+                try:
+                    writer.close()
+                except Exception:
+                    pass              # errors already in writer_errors
     if transport_obj is not None:
         io_stats["transport"] = transport_obj.stats()
         if owns_transport:
@@ -264,6 +464,19 @@ def run_search(problem, strategy, num_candidates: int, *,
         io_stats["prefetch"] = prefetcher.stats()
     if io_stats:
         trace.io_stats = io_stats
+
+    # -- fault accounting: only attached when something actually went
+    # wrong (or chaos was injected / a run was resumed), so clean paper
+    # runs keep fault_stats is None --------------------------------------
+    fault_stats.pool_rebuilds = getattr(evaluator, "pool_rebuilds", 0)
+    fault_dict = fault_stats.as_dict()
+    if resumed_records:
+        fault_dict["resumed_records"] = resumed_records
+    if isinstance(evaluator, ChaosEvaluator):
+        fault_dict["chaos"] = evaluator.stats()
+    if (fault_stats.total_faults or fault_stats.pool_rebuilds
+            or resumed_records or "chaos" in fault_dict):
+        trace.fault_stats = fault_dict
 
     gate = getattr(strategy, "gate", None)
     if gate is not None:

@@ -27,6 +27,23 @@ memcpy (``bytes / memcpy_bandwidth``) blocks the virtual critical path
 while the modelled disk write lands in ``record.io_hidden``.
 ``record.overhead`` stays the total I/O cost in both modes, exactly as
 in the real scheduler.
+
+Fault model (DESIGN.md "Fault tolerance"): ``run(faults=FaultModel(...))``
+injects the cluster pathologies the paper's 32-GPU campaigns live with,
+in virtual time but with *real* side effects where it matters:
+
+* **crashes** — an attempt consumes a uniform fraction of its training
+  time, then fails; the ``retry`` policy replays it (backoff charged to
+  the virtual clock) or the candidate lands as a failed record;
+* **stragglers** — a slow node multiplies the attempt's duration;
+* **corrupt checkpoints** — the saved npz is *actually truncated on
+  disk*, so a later provider load genuinely raises
+  :class:`CorruptCheckpointError`, is quarantined, and the child
+  cold-starts — the same code path as the real scheduler.
+
+Fault counters land in ``trace.fault_stats``, so the paper's 1.4–1.5×
+speedup claims can be re-measured under failure rates (the
+``ablation-faults`` experiment).
 """
 
 from __future__ import annotations
@@ -37,10 +54,31 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..checkpoint import make_cache
-from ..nas.estimation import estimate_candidate
+from ..checkpoint import CorruptCheckpointError, make_cache
+from ..nas.estimation import FAILURE_SCORE, estimate_candidate
 from ..transfer.policy import get_policy
+from .resilience import FaultStats, RetryPolicy
 from .trace import Trace, TraceRecord, checkpoint_key
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Failure rates for a simulated campaign (all independent draws
+    from the run's dedicated fault rng, so a seeded run replays the
+    exact same fault schedule)."""
+
+    crash_prob: float = 0.0        # attempt dies partway through training
+    straggler_prob: float = 0.0    # attempt lands on a slow node
+    straggler_factor: float = 4.0  # how slow that node is
+    corrupt_prob: float = 0.0      # saved checkpoint is truncated on disk
+
+    def __post_init__(self):
+        for name in ("crash_prob", "straggler_prob", "corrupt_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -91,10 +129,19 @@ class SimulatedCluster:
 
     def run(self, strategy, num_candidates: int, *,
             scheme: str = "baseline", provider_policy="parent",
-            seed: int = 0, cache=None, async_io: bool = False) -> Trace:
+            seed: int = 0, cache=None, async_io: bool = False,
+            faults: Optional[FaultModel] = None,
+            retry: Optional[RetryPolicy] = None) -> Trace:
         transfers = scheme != "baseline"
         policy = get_policy(provider_policy, space=self.problem.space)
         rng = np.random.default_rng(seed)
+        # dedicated streams: the fault schedule never perturbs provider
+        # selection, so faults=None and faults=FaultModel() (all-zero
+        # rates) produce bit-identical traces
+        fault_rng = np.random.default_rng((seed, 0xFA17))
+        retry = retry or RetryPolicy(max_attempts=3, base_delay=1.0,
+                                     jitter=0.0)
+        fault_stats = FaultStats()
         weight_cache = make_cache(cache) if transfers else None
         trace = Trace(name=f"{self.problem.name}-{scheme}-g{self.num_gpus}",
                       scheme=scheme)
@@ -135,12 +182,20 @@ class SimulatedCluster:
                         record.provider_id = provider
                         record.add_io_blocked(self.cost.cache_hit_seconds)
                     elif self.store.exists(key):
-                        provider_weights = self.store.load(key)
+                        # the read cost is paid before corruption is
+                        # discovered, exactly like a real parallel FS
                         record.add_io_blocked(self.cost.load_seconds(
                             self.store.nbytes(key)))
-                        record.provider_id = provider
-                        if weight_cache is not None:
-                            weight_cache.put(key, provider_weights)
+                        try:
+                            provider_weights = self.store.load(key)
+                        except CorruptCheckpointError:
+                            fault_stats.record_fault("corrupt_checkpoint")
+                            fault_stats.quarantined += 1
+                            self.store.quarantine(key)
+                        else:
+                            record.provider_id = provider
+                            if weight_cache is not None:
+                                weight_cache.put(key, provider_weights)
 
             # real training, virtual time
             result = estimate_candidate(
@@ -152,12 +207,42 @@ class SimulatedCluster:
             record.ok = result.ok
             record.score = result.score
             record.num_params = result.num_params
+            record.error = result.error
             if result.transfer_stats is not None:
                 record.transferred = result.transfer_stats.transferred
                 record.transfer_coverage = result.transfer_stats.coverage
             duration = self.cost.train_seconds(result.num_params,
                                                self.gpu_speeds[gpu])
-            if transfers and result.ok and result.weights is not None:
+
+            # -- fault injection, in virtual time -----------------------
+            extra_seconds = 0.0
+            crashed = False
+            if faults is not None:
+                if faults.straggler_prob and \
+                        float(fault_rng.uniform()) < faults.straggler_prob:
+                    fault_stats.record_fault("straggler")
+                    extra_seconds += duration * (faults.straggler_factor
+                                                 - 1.0)
+                while faults.crash_prob and \
+                        float(fault_rng.uniform()) < faults.crash_prob:
+                    fault_stats.record_fault("injected")
+                    # the attempt dies a uniform fraction into training
+                    extra_seconds += duration * float(fault_rng.uniform())
+                    if not retry.should_retry(record.attempts):
+                        crashed = True
+                        fault_stats.failed_records += 1
+                        break
+                    backoff = retry.delay(record.attempts, None)
+                    extra_seconds += backoff
+                    fault_stats.backoff_seconds += backoff
+                    fault_stats.retries += 1
+                    record.attempts += 1
+            if crashed:
+                record.ok = False
+                record.score = FAILURE_SCORE
+                record.error = "injected: crash (retries exhausted)"
+
+            if transfers and record.ok and result.weights is not None:
                 key = checkpoint_key(candidate_id)
                 info = self.store.save(
                     key, result.weights,
@@ -170,11 +255,20 @@ class SimulatedCluster:
                     record.add_io_hidden(self.cost.save_seconds(info.nbytes))
                 else:
                     record.add_io_blocked(self.cost.save_seconds(info.nbytes))
-                if weight_cache is not None:
+                if faults is not None and faults.corrupt_prob and \
+                        float(fault_rng.uniform()) < faults.corrupt_prob:
+                    # genuinely truncate the npz: a later provider load
+                    # hits CorruptCheckpointError and the quarantine path
+                    fault_stats.record_fault("corrupt_write")
+                    path = self.store.path(key)
+                    blob = path.read_bytes()
+                    path.write_bytes(blob[:max(1, len(blob) // 3)])
+                elif weight_cache is not None:
                     weight_cache.put(key, result.weights)
             # hidden I/O is, by definition, off the critical path: only
             # the blocked seconds extend the candidate's GPU occupancy
-            record.end_time = record.start_time + duration + record.io_blocked
+            record.end_time = (record.start_time + duration
+                               + extra_seconds + record.io_blocked)
             heapq.heappush(completions,
                            (record.end_time, candidate_id, record))
             heapq.heappush(gpus, (record.end_time, gpu))
@@ -186,4 +280,6 @@ class SimulatedCluster:
                 trace.io_stats["cache"] = weight_cache.stats()
             if async_io:
                 trace.io_stats["async_io"] = True
+        if faults is not None:
+            trace.fault_stats = fault_stats.as_dict()
         return trace

@@ -46,6 +46,12 @@ class TraceRecord:
     transferred: bool = False
     transfer_coverage: float = 0.0
     ckpt_bytes: int = 0
+    #: evaluation attempts consumed (1 = clean first try; >1 = the
+    #: fault-containment path retried a crashed/hung/corrupt evaluation)
+    attempts: int = 1
+    #: taxonomy kind + message of the final fault for failed records
+    #: (``None`` for clean evaluations)
+    error: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -76,6 +82,10 @@ class Trace:
     #: transport stats + drain-barrier seconds) when the search ran with
     #: the cache/async knobs; None otherwise
     io_stats: Optional[dict] = None
+    #: fault-containment accounting (faults by taxonomy kind, retries,
+    #: quarantined checkpoints, pool rebuilds, chaos-injection stats)
+    #: when any fault was contained or injected; None otherwise
+    fault_stats: Optional[dict] = None
 
     def append(self, record: TraceRecord) -> None:
         self.records.append(record)
@@ -133,6 +143,8 @@ class Trace:
                 header["static_stats"] = self.static_stats
             if self.io_stats is not None:
                 header["io_stats"] = self.io_stats
+            if self.fault_stats is not None:
+                header["fault_stats"] = self.fault_stats
             fh.write(json.dumps(header) + "\n")
             for r in self.records:
                 fh.write(json.dumps(asdict(r)) + "\n")
@@ -144,7 +156,8 @@ class Trace:
             header = json.loads(fh.readline())
             trace = cls(name=header["name"], scheme=header["scheme"],
                         static_stats=header.get("static_stats"),
-                        io_stats=header.get("io_stats"))
+                        io_stats=header.get("io_stats"),
+                        fault_stats=header.get("fault_stats"))
             for line in fh:
                 d = json.loads(line)
                 d["arch_seq"] = tuple(d["arch_seq"])

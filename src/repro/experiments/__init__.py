@@ -17,6 +17,7 @@ from .ablations import (
 )
 from .config import CONFIGS, ExperimentConfig, get_config
 from .context import ExperimentContext
+from .faults import FaultResult, format_ablation_faults, run_ablation_faults
 from .fig2 import Fig2Result, format_fig2, run_fig2
 from .fig4 import Fig4Result, format_fig4, run_fig4
 from .fig5 import Fig5Result, format_fig5, run_fig5
@@ -35,6 +36,7 @@ __all__ = [
     "CONFIGS",
     "ExperimentConfig",
     "ExperimentContext",
+    "FaultResult",
     "Fig2Result",
     "Fig4Result",
     "Fig5Result",
@@ -48,6 +50,7 @@ __all__ = [
     "Table3Result",
     "Table4Result",
     "format_ablation_distance",
+    "format_ablation_faults",
     "format_ablation_partial",
     "format_ablation_policies",
     "format_fig2",
@@ -68,6 +71,7 @@ __all__ = [
     "human_count",
     "pct",
     "run_ablation_distance",
+    "run_ablation_faults",
     "run_ablation_partial",
     "run_ablation_policies",
     "run_fig2",

@@ -1,0 +1,116 @@
+"""Ablation: does the LCS speedup survive real failure rates?
+
+The paper's 1.4–1.5× estimation-phase speedups (Fig. 10, Table III) are
+measured on clean runs.  Long multi-GPU campaigns are not clean: workers
+crash, nodes straggle, checkpoints corrupt.  This ablation re-measures
+the baseline-vs-LCS makespan ratio under seeded fault injection
+(:class:`repro.cluster.FaultModel` + bounded retry) — the transfer
+scheme has strictly more surface for faults (checkpoint reads *and*
+writes can corrupt), so the question is whether its advantage erodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..checkpoint import CheckpointStore
+from ..cluster import FaultModel, RetryPolicy, SimulatedCluster
+from ..nas import RegularizedEvolution
+from .report import pct, text_table
+
+#: (crash_prob, corrupt_prob) grid — 0/0 is the paper's clean setting
+FAULT_RATES = ((0.0, 0.0), (0.1, 0.1), (0.25, 0.2))
+
+
+@dataclass(frozen=True)
+class FaultRow:
+    app: str
+    crash_prob: float
+    corrupt_prob: float
+    scheme: str
+    makespan: float
+    ok_fraction: float
+    retries: int
+    failed: int
+    quarantined: int
+
+
+@dataclass(frozen=True)
+class FaultResult:
+    rows: tuple
+
+    def row(self, app: str, crash_prob: float, scheme: str) -> FaultRow:
+        for r in self.rows:
+            if (r.app == app and r.crash_prob == crash_prob
+                    and r.scheme == scheme):
+                return r
+        raise KeyError((app, crash_prob, scheme))
+
+    def speedup(self, app: str, crash_prob: float) -> float:
+        """baseline/LCS makespan ratio at one fault rate (>1 = LCS wins)."""
+        lcs = self.row(app, crash_prob, "lcs").makespan
+        base = self.row(app, crash_prob, "baseline").makespan
+        return base / lcs if lcs else float("nan")
+
+
+def run_ablation_faults(ctx, apps, rates=FAULT_RATES) -> FaultResult:
+    retry = RetryPolicy(max_attempts=3, base_delay=2.0, jitter=0.0)
+    rows = []
+    for app in apps:
+        problem = ctx.problem(app)
+        for crash_prob, corrupt_prob in rates:
+            faults = FaultModel(crash_prob=crash_prob,
+                                corrupt_prob=corrupt_prob)
+            for scheme in ("baseline", "lcs"):
+                store = CheckpointStore(
+                    ctx.workdir / "ablation_faults"
+                    / f"{app}_{scheme}_c{crash_prob}_k{corrupt_prob}")
+                cluster = SimulatedCluster(problem, store,
+                                           num_gpus=ctx.default_gpus)
+                strategy = RegularizedEvolution(
+                    problem.space, rng=7,
+                    population_size=ctx.config.population_size,
+                    sample_size=ctx.config.sample_size)
+                trace = cluster.run(strategy, ctx.config.num_candidates,
+                                    scheme=scheme, seed=7, faults=faults,
+                                    retry=retry)
+                fs = trace.fault_stats or {}
+                ok = trace.ok_records()
+                rows.append(FaultRow(
+                    app=app, crash_prob=crash_prob,
+                    corrupt_prob=corrupt_prob, scheme=scheme,
+                    makespan=trace.makespan,
+                    ok_fraction=len(ok) / len(trace) if len(trace) else 0.0,
+                    retries=int(fs.get("retries", 0)),
+                    failed=int(fs.get("failed_records", 0)),
+                    quarantined=int(fs.get("quarantined", 0)),
+                ))
+    return FaultResult(rows=tuple(rows))
+
+
+def format_ablation_faults(result: FaultResult) -> str:
+    table = text_table(
+        "Ablation: estimation-phase speedup under injected faults "
+        "(virtual clock, bounded retry)",
+        ["App", "crash p", "corrupt p", "Scheme", "Makespan(s)",
+         "OK frac", "Retries", "Failed", "Quarantined"],
+        [
+            [r.app, f"{r.crash_prob:.2f}", f"{r.corrupt_prob:.2f}",
+             r.scheme, f"{r.makespan:.1f}", pct(r.ok_fraction, 0),
+             r.retries, r.failed, r.quarantined]
+            for r in result.rows
+        ],
+    )
+    apps, rates = [], []
+    for r in result.rows:
+        if r.app not in apps:
+            apps.append(r.app)
+        if r.crash_prob not in rates:
+            rates.append(r.crash_prob)
+    lines = ["", "baseline/LCS makespan speedup (>1 = LCS still wins):"]
+    for app in apps:
+        cells = ", ".join(
+            f"crash={rate:.2f}: {result.speedup(app, rate):.2f}x"
+            for rate in rates)
+        lines.append(f"  {app}: {cells}")
+    return table + "\n" + "\n".join(lines)

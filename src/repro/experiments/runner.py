@@ -25,6 +25,7 @@ from .ablations import (
     run_ablation_policies,
 )
 from .context import ExperimentContext
+from .faults import format_ablation_faults, run_ablation_faults
 from .fig2 import format_fig2, run_fig2
 from .fig4 import format_fig4, run_fig4
 from .fig5 import format_fig5, run_fig5
@@ -56,6 +57,8 @@ EXPERIMENTS = {
         run_ablation_partial(ctx, ctx.config.apps, 8)),
     "ablation-policies": lambda ctx: format_ablation_policies(
         run_ablation_policies(ctx, ctx.config.apps)),
+    "ablation-faults": lambda ctx: format_ablation_faults(
+        run_ablation_faults(ctx, ctx.config.apps)),
     "scorecard": lambda ctx: format_scorecard(run_scorecard(ctx)),
 }
 

@@ -42,6 +42,15 @@ class Strategy:
     def tell(self, candidate_id: int, arch_seq, score: float) -> None:
         raise NotImplementedError
 
+    def restore(self, records) -> None:
+        """Rebuild ask/tell state from replayed trace records — the
+        resume path (``run_search(resume=...)``) calls this with every
+        journaled completion, in completion order, before the search
+        continues.  The default replays them through :meth:`tell`;
+        strategies with ask-side counters override to restore those too."""
+        for r in records:
+            self.tell(r.candidate_id, r.arch_seq, r.score)
+
     def provider_candidates(self) -> tuple:
         """Candidate ids likely to be selected as weight providers for
         upcoming proposals — the scheduler's prefetch reader warms the

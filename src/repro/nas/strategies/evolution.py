@@ -67,6 +67,15 @@ class RegularizedEvolution(Strategy):
             _Member(candidate_id, tuple(arch_seq), float(score))
         )
 
+    def restore(self, records) -> None:
+        """Resume: refill the population FIFO *and* fast-forward the
+        ask counter past the warmup, so a restored run keeps evolving
+        instead of re-entering random warmup sampling."""
+        super().restore(records)
+        if records:
+            self._asked = max(self._asked,
+                              max(r.candidate_id for r in records) + 1)
+
     def provider_candidates(self) -> tuple:
         """Every population member may win the next tournament and
         become the mutation parent (= weight provider), so the whole

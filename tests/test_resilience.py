@@ -1,0 +1,461 @@
+"""Fault tolerance: containment, retry, quarantine, journal, chaos."""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    AsyncCheckpointWriter,
+    CheckpointStore,
+    CorruptCheckpointError,
+    ProviderPrefetcher,
+    WeightCache,
+)
+from repro.cluster import (
+    ChaosEvaluator,
+    FaultModel,
+    InjectedFault,
+    ProcessPoolEvaluator,
+    RetryPolicy,
+    SerialEvaluator,
+    SimulatedCluster,
+    TaskFailure,
+    TaskTimeout,
+    ThreadPoolEvaluator,
+    TraceJournal,
+    WorkerLost,
+    run_search,
+)
+from repro.cluster.resilience import classify_failure
+from repro.cluster.trace import TraceRecord
+from repro.nas import FAILURE_SCORE, RandomSearch, RegularizedEvolution
+
+
+# module-level so ProcessPoolEvaluator can pickle them
+def _boom():
+    raise ValueError("worker task exploded")
+
+
+def _die():
+    os._exit(13)            # kills the worker process -> broken pool
+
+
+def _const():
+    return 42
+
+
+# ---------------------------------------------------------------------------
+# taxonomy + retry policy
+# ---------------------------------------------------------------------------
+
+def test_classify_failure_taxonomy():
+    import concurrent.futures as cf
+    assert classify_failure(TaskTimeout("t")) == "timeout"
+    assert classify_failure(WorkerLost("w")) == "worker_lost"
+    assert classify_failure(InjectedFault("i")) == "injected"
+    assert classify_failure(
+        CorruptCheckpointError("k", "p", ValueError())) == "corrupt_checkpoint"
+    assert classify_failure(cf.BrokenExecutor("b")) == "worker_lost"
+    assert classify_failure(ValueError("v")) == "task_error"
+
+
+def test_task_failure_carries_kind():
+    f = TaskFailure(ValueError("x"))
+    assert f.kind == "task_error"
+    assert "task_error" in repr(f)
+    assert TaskFailure(ValueError("x"), kind="custom").kind == "custom"
+
+
+def test_retry_policy_bounds():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)
+    p = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0,
+                    max_delay=0.25)
+    assert p.should_retry(1) and p.should_retry(2)
+    assert not p.should_retry(3)
+    assert p.delay(1) == pytest.approx(0.1)
+    assert p.delay(2) == pytest.approx(0.2)
+    assert p.delay(3) == pytest.approx(0.25)   # capped at max_delay
+    # max_attempts=1 is containment-only
+    assert not RetryPolicy(max_attempts=1).should_retry(1)
+
+
+def test_retry_jitter_is_seeded():
+    p = RetryPolicy(base_delay=0.1, jitter=0.05)
+    d1 = [p.delay(1, np.random.default_rng(7)) for _ in range(3)]
+    d2 = [p.delay(1, np.random.default_rng(7)) for _ in range(3)]
+    assert d1 == d2
+    assert all(0.1 <= d <= 0.15 for d in d1)
+
+
+# ---------------------------------------------------------------------------
+# evaluator containment (satellite: every evaluator contains exceptions)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("make", [
+    SerialEvaluator,
+    lambda: ThreadPoolEvaluator(2),
+    lambda: ProcessPoolEvaluator(2),
+])
+def test_evaluators_contain_task_exceptions(make):
+    with make() as ev:
+        ticket = ev.submit(_boom)
+        got, result = ev.wait_any()
+        assert got == ticket
+        assert isinstance(result, TaskFailure)
+        assert result.kind == "task_error"
+        assert "exploded" in str(result.error)
+        # the evaluator survives: a healthy task still completes
+        ev.submit(_const)
+        _, result = ev.wait_any()
+        assert result == 42
+
+
+def test_process_pool_recovers_from_dead_worker():
+    with ProcessPoolEvaluator(2) as ev:
+        ev.submit(_die)
+        _, result = ev.wait_any()
+        assert isinstance(result, TaskFailure)
+        assert result.kind == "worker_lost"
+        assert ev.pool_rebuilds >= 1
+        # the rebuilt pool serves new work
+        ev.submit(_const)
+        _, result = ev.wait_any()
+        assert result == 42
+
+
+def test_failed_task_lands_as_failed_record(space, problem):
+    """A worker exception becomes a FAILURE_SCORE record, not a crash."""
+    ev = ChaosEvaluator(SerialEvaluator(), crash_prob=1.0, seed=0)
+    trace = run_search(problem, RandomSearch(space, rng=0), 3,
+                       scheme="baseline", evaluator=ev, seed=0)
+    assert len(trace) == 3
+    for r in trace:
+        assert not r.ok
+        assert r.score == FAILURE_SCORE
+        assert r.error.startswith("injected:")
+    fs = trace.fault_stats
+    assert fs["by_kind"]["injected"] == 3
+    assert fs["failed_records"] == 3
+    assert fs["retries"] == 0              # default policy: containment only
+    assert fs["chaos"]["injected"]["crash"] == 3
+
+
+# ---------------------------------------------------------------------------
+# chaos + retry: the search completes and stays deterministic
+# ---------------------------------------------------------------------------
+
+def test_chaos_with_retry_completes_all_candidates(space, problem):
+    ev = ChaosEvaluator(SerialEvaluator(), crash_prob=0.4, seed=3)
+    trace = run_search(problem, RandomSearch(space, rng=0), 8,
+                       scheme="baseline", evaluator=ev, seed=0,
+                       retry=RetryPolicy(max_attempts=4, base_delay=0.0,
+                                         jitter=0.0))
+    assert len(trace) == 8
+    assert all(r.ok for r in trace)
+    fs = trace.fault_stats
+    assert fs["retries"] > 0
+    assert fs["failed_records"] == 0
+    assert max(r.attempts for r in trace) > 1
+
+
+def test_chaos_crashes_do_not_perturb_scores(space, problem):
+    """Crash-only chaos + retry reproduces the clean run bit-for-bit:
+    retries and jitter draw from dedicated rng streams."""
+    def run(evaluator):
+        return run_search(problem, RandomSearch(space, rng=0), 6,
+                          scheme="baseline", evaluator=evaluator, seed=0,
+                          retry=RetryPolicy(max_attempts=5,
+                                            base_delay=0.0, jitter=0.01))
+
+    clean = run(SerialEvaluator())
+    chaos = run(ChaosEvaluator(SerialEvaluator(), crash_prob=0.5, seed=11))
+    assert [(r.arch_seq, r.score) for r in clean] == \
+           [(r.arch_seq, r.score) for r in chaos]
+
+
+def test_chaos_corrupt_result_is_contained(space, problem):
+    ev = ChaosEvaluator(SerialEvaluator(), corrupt_prob=1.0, seed=0)
+    trace = run_search(problem, RandomSearch(space, rng=0), 2,
+                       scheme="baseline", evaluator=ev, seed=0)
+    assert len(trace) == 2
+    for r in trace:
+        assert not r.ok and r.score == FAILURE_SCORE
+    assert trace.fault_stats["by_kind"]["corrupt_result"] == 2
+
+
+def test_task_timeout_abandons_hung_workers(space, problem):
+    ev = ChaosEvaluator(ThreadPoolEvaluator(2), hang_prob=1.0,
+                        hang_seconds=5.0, seed=0)
+    trace = run_search(problem, RandomSearch(space, rng=0), 2,
+                       scheme="baseline", evaluator=ev, seed=0,
+                       task_timeout=0.2)
+    assert len(trace) == 2
+    for r in trace:
+        assert not r.ok
+        assert r.error.startswith("timeout:")
+    assert trace.fault_stats["by_kind"]["timeout"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# corrupt checkpoints: store-level + scheduler quarantine
+# ---------------------------------------------------------------------------
+
+def _truncate(path):
+    blob = path.read_bytes()
+    path.write_bytes(blob[: max(1, len(blob) // 3)])
+
+
+def test_store_load_raises_corrupt_checkpoint(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save("w", {"a": np.arange(6, dtype=np.float32)})
+    _truncate(store.path("w"))
+    with pytest.raises(CorruptCheckpointError) as err:
+        store.load("w")
+    assert err.value.key == "w"
+    # missing keys are still FileNotFoundError, not "corrupt"
+    with pytest.raises(FileNotFoundError):
+        store.load("nope")
+
+
+def test_store_quarantine_moves_files(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save("bad", {"a": np.ones(3, dtype=np.float32)},
+               meta={"x": 1})
+    _truncate(store.path("bad"))
+    store.quarantine("bad")
+    assert not store.exists("bad")
+    assert store.quarantined_keys() == ["bad"]
+    assert (store.quarantine_root / store.path("bad").name).exists()
+
+
+def test_scheduler_quarantines_corrupt_provider(space, problem, tmp_path):
+    """A corrupt provider checkpoint is quarantined and the candidate
+    cold-starts — the search itself finishes every candidate."""
+    class CorruptingStore(CheckpointStore):
+        def save(self, key, weights, meta=None):
+            info = super().save(key, weights, meta)
+            _truncate(self.path(key))
+            return info
+
+    store = CorruptingStore(tmp_path)
+    strategy = RegularizedEvolution(space, rng=0, population_size=4,
+                                    sample_size=2)
+    trace = run_search(problem, strategy, 10, scheme="lcs", store=store,
+                       seed=0)
+    assert len(trace) == 10
+    fs = trace.fault_stats
+    assert fs["quarantined"] >= 1
+    assert fs["by_kind"]["corrupt_checkpoint"] == fs["quarantined"]
+    assert all(r.provider_id is None for r in trace)   # all cold starts
+    assert len(store.quarantined_keys()) == fs["quarantined"]
+
+
+def test_prefetcher_counts_corrupt_loads(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save("good", {"a": np.ones(4, dtype=np.float32)})
+    store.save("bad", {"a": np.ones(4, dtype=np.float32)})
+    _truncate(store.path("bad"))
+    cache = WeightCache()
+    with ProviderPrefetcher(store, cache) as pf:
+        pf.request(["good", "bad"])
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            stats = pf.stats()
+            if stats["loaded"] + stats["errors"] >= 2:
+                break
+            time.sleep(0.01)
+    assert stats["loaded"] == 1
+    assert stats["errors"] == 1
+    assert stats["corrupt"] == 1
+    assert stats["last_error"].startswith("bad:")
+
+
+def test_writer_error_log_keeps_every_failure(tmp_path):
+    class FlakyStore(CheckpointStore):
+        def save(self, key, weights, meta=None):
+            if key.startswith("fail"):
+                raise OSError(f"disk gone for {key}")
+            return super().save(key, weights, meta)
+
+    w = {"a": np.ones(2, dtype=np.float32)}
+    writer = AsyncCheckpointWriter(FlakyStore(tmp_path))
+    writer.save("fail1", w)
+    writer.save("ok", w)
+    writer.save("fail2", w)
+    with pytest.raises(OSError):
+        writer.flush()                      # raise-on-first-error contract
+    writer.flush()                          # errors cleared; healthy again
+    writer.close()
+    log = writer.error_log()
+    assert [k for k, _ in log] == ["fail1", "fail2"]    # both kept
+    assert all("disk gone" in msg for _, msg in log)
+    assert "ok" in writer.results()
+
+
+# ---------------------------------------------------------------------------
+# journal + resume
+# ---------------------------------------------------------------------------
+
+def test_journal_roundtrip(tmp_path):
+    path = tmp_path / "j.jsonl"
+    records = [TraceRecord(candidate_id=i, arch_seq=(i, 1), score=0.1 * i,
+                           scheme="lcs", ok=True) for i in range(3)]
+    with TraceJournal(path, name="run", scheme="lcs") as j:
+        for r in records:
+            j.append(r)
+    header, replayed = TraceJournal.replay(path)
+    assert header["name"] == "run" and header["scheme"] == "lcs"
+    assert replayed == records
+    trace = TraceJournal.to_trace(path)
+    assert len(trace) == 3 and trace.scheme == "lcs"
+
+
+def test_journal_tolerates_torn_final_line(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with TraceJournal(path, name="run") as j:
+        j.append(TraceRecord(candidate_id=0, arch_seq=(0,), score=1.0,
+                             scheme="baseline"))
+    with open(path, "a") as fh:
+        fh.write('{"candidate_id": 1, "arch_')     # killed mid-write
+    _, replayed = TraceJournal.replay(path)
+    assert [r.candidate_id for r in replayed] == [0]
+    # a torn line anywhere else is data corruption and must raise
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join([lines[0], "{broken", lines[1]]) + "\n")
+    with pytest.raises(json.JSONDecodeError):
+        TraceJournal.replay(path)
+
+
+def test_resume_replays_journal_bit_identically(space, problem, tmp_path):
+    journal = tmp_path / "run.jsonl"
+
+    def strategy():
+        return RegularizedEvolution(space, rng=5, population_size=4,
+                                    sample_size=2)
+
+    full = run_search(problem, strategy(), 8, scheme="baseline", seed=5,
+                      journal=tmp_path / "full.jsonl")
+    # "killed" run: only the first 5 candidates landed in the journal
+    run_search(problem, strategy(), 5, scheme="baseline", seed=5,
+               journal=journal)
+    resumed = run_search(problem, strategy(), 8, scheme="baseline", seed=5,
+                         resume=journal)
+    assert len(resumed) == 8
+    assert resumed.fault_stats["resumed_records"] == 5
+    # replayed candidates are bit-identical to the uninterrupted run
+    for a, b in zip(full.records[:5], resumed.records[:5]):
+        assert (a.candidate_id, a.arch_seq, a.score) == \
+               (b.candidate_id, b.arch_seq, b.score)
+    # the journal now holds the full resumed run
+    _, replayed = TraceJournal.replay(journal)
+    assert [r.candidate_id for r in replayed] == list(range(8))
+
+
+def test_resume_of_complete_journal_is_a_noop_run(space, problem, tmp_path):
+    journal = tmp_path / "run.jsonl"
+    first = run_search(problem, RandomSearch(space, rng=2), 4,
+                       scheme="baseline", seed=2, journal=journal)
+    again = run_search(problem, RandomSearch(space, rng=2), 4,
+                       scheme="baseline", seed=2, resume=journal)
+    assert [(r.candidate_id, r.score) for r in again.records] == \
+           [(r.candidate_id, r.score) for r in first.records]
+
+
+def test_evolution_restore_fast_forwards_warmup(space):
+    ev = RegularizedEvolution(space, rng=0, population_size=4,
+                              sample_size=2)
+    records = [TraceRecord(candidate_id=i, arch_seq=tuple(space.sample(
+        np.random.default_rng(i))), score=float(i), scheme="baseline",
+        ok=True) for i in range(6)]
+    ev.restore(records)
+    assert len(ev.population) == 4          # FIFO keeps the newest 4
+    assert ev._asked == 6                   # past warmup: next ask evolves
+    proposal = ev.ask()
+    assert proposal.parent_id is not None
+
+
+# ---------------------------------------------------------------------------
+# simulator fault model
+# ---------------------------------------------------------------------------
+
+def test_fault_model_validates():
+    with pytest.raises(ValueError):
+        FaultModel(crash_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultModel(straggler_factor=0.5)
+
+
+def test_sim_zero_rate_faults_match_clean_run(space, problem, tmp_path):
+    def run(root, faults):
+        cluster = SimulatedCluster(problem, CheckpointStore(root),
+                                   num_gpus=2)
+        strategy = RegularizedEvolution(space, rng=1, population_size=4,
+                                        sample_size=2)
+        return cluster.run(strategy, 6, scheme="lcs", seed=1, faults=faults)
+
+    clean = run(tmp_path / "a", None)
+    zero = run(tmp_path / "b", FaultModel())
+    assert [(r.arch_seq, r.score, r.end_time) for r in clean] == \
+           [(r.arch_seq, r.score, r.end_time) for r in zero]
+    assert clean.fault_stats is None
+    assert zero.fault_stats["total_faults"] == 0
+
+
+def test_sim_crashes_cost_virtual_time(space, problem, tmp_path):
+    def run(root, faults):
+        cluster = SimulatedCluster(problem, CheckpointStore(root),
+                                   num_gpus=2)
+        strategy = RegularizedEvolution(space, rng=1, population_size=4,
+                                        sample_size=2)
+        return cluster.run(strategy, 8, scheme="lcs", seed=1, faults=faults,
+                           retry=RetryPolicy(max_attempts=8, base_delay=1.0,
+                                             jitter=0.0))
+
+    clean = run(tmp_path / "a", None)
+    faulty = run(tmp_path / "b", FaultModel(crash_prob=0.5,
+                                            straggler_prob=0.2))
+    assert len(faulty) == 8
+    assert faulty.makespan > clean.makespan
+    fs = faulty.fault_stats
+    assert fs["by_kind"].get("injected", 0) > 0
+    assert fs["retries"] > 0
+    # the retry budget absorbs every crash: no candidate is lost (faults
+    # shift completion times, so the *trajectory* may legitimately differ
+    # from the clean run — only the zero-rate model is bit-identical)
+    assert fs["failed_records"] == 0
+    assert all(r.ok for r in faulty)
+    assert fs["backoff_seconds"] > 0
+
+
+def test_sim_corrupt_writes_reach_quarantine(space, problem, tmp_path):
+    cluster = SimulatedCluster(problem, CheckpointStore(tmp_path),
+                               num_gpus=2)
+    strategy = RegularizedEvolution(space, rng=1, population_size=4,
+                                    sample_size=2)
+    trace = cluster.run(strategy, 12, scheme="lcs", seed=1,
+                        faults=FaultModel(corrupt_prob=1.0))
+    assert len(trace) == 12
+    fs = trace.fault_stats
+    assert fs["by_kind"]["corrupt_write"] > 0
+    # every provider read of a corrupted npz hit the quarantine path
+    assert fs["quarantined"] == fs["by_kind"].get("corrupt_checkpoint", 0)
+    assert fs["quarantined"] > 0
+
+
+def test_fault_stats_roundtrip_trace_jsonl(space, problem, tmp_path):
+    ev = ChaosEvaluator(SerialEvaluator(), crash_prob=1.0, seed=0)
+    trace = run_search(problem, RandomSearch(space, rng=0), 2,
+                       scheme="baseline", evaluator=ev, seed=0)
+    path = tmp_path / "t.jsonl"
+    trace.save_jsonl(path)
+    from repro.cluster import Trace
+    loaded = Trace.load_jsonl(path)
+    assert loaded.fault_stats == trace.fault_stats
+    assert [r.attempts for r in loaded] == [r.attempts for r in trace]
+    assert [r.error for r in loaded] == [r.error for r in trace]

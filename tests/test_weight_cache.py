@@ -166,4 +166,5 @@ def test_prefetcher_skips_cached_and_inflight_keys(tmp_path):
         pf.request(["k0"])
         pf.close()
         assert pf.stats() == {"requested": 0, "loaded": 0, "skipped": 1,
-                              "errors": 0, "hidden_seconds": 0.0}
+                              "errors": 0, "corrupt": 0, "last_error": None,
+                              "hidden_seconds": 0.0}
