@@ -1,0 +1,46 @@
+"""Smoke tier of the zero-cost benchmark harness (quick rounds).
+
+Structural assertions only where timing is involved — the strict
+acceptance bars (tau drop <= 0.02, proxy < 10% of an epoch) are
+enforced on the committed full-mode ``BENCH_zerocost.json`` by
+``zerocost_runner.py --check``; a shared CI runner only has to show
+the cascade's shape is right.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf import zerocost_cases
+from benchmarks.perf.timing import QUICK_ROUNDS
+
+_WARMUP = 1
+_N = 12
+
+
+def test_every_proxy_is_cheaper_than_one_epoch():
+    problem = zerocost_cases.bench_problem("mnist")
+    row = zerocost_cases.proxy_cost_case(problem, QUICK_ROUNDS, _WARMUP)
+    assert set(row["scorers"]) == {"gradnorm", "ntk", "synflow"}, row
+    for name, s in row["scorers"].items():
+        # the acceptance bar is 10% of an epoch; on a jittery runner we
+        # only insist the proxy is strictly cheaper than the epoch
+        assert s["proxy_ms"] < row["epoch_ms"], (name, row)
+
+
+def test_frontier_cascade_cuts_partial_evaluations():
+    f = zerocost_cases.frontier_case("mnist", _N)
+    h = f["headline"]
+    assert h["evals_cut"] >= zerocost_cases.MIN_EVALS_CUT, h
+    cascades = [r for r in f["rows"] if r["tier"] == "cascade"]
+    assert cascades
+    for r in cascades:
+        assert 0 < r["partial_evals"] < _N, r
+        assert -1.0 <= r["tau"] <= 1.0, r
+    baseline = next(r for r in f["rows"] if r["tier"] == "partial")
+    assert baseline["partial_evals"] == _N
+    # the cascade is strictly cheaper than the no-proxy baseline
+    best = min(cascades, key=lambda r: r["cost_seconds"])
+    assert best["cost_seconds"] < baseline["cost_seconds"], (best, baseline)

@@ -1,0 +1,110 @@
+"""Zero-cost admission benchmark cases: proxy cost + tau-vs-cost frontier.
+
+Two kinds of cases feed ``BENCH_zerocost.json``:
+
+- ``proxy_cost_case`` times each proxy scorer per candidate against one
+  estimation *epoch* of the same problem — the acceptance bar is that
+  the proxy stays under :data:`MAX_PROXY_EPOCH_FRAC` of an epoch.
+- ``frontier_case`` reuses the ablation's :func:`measure_frontier` to
+  report the static → proxy → partial cascade frontier (Kendall tau vs
+  a longer reference run, partial evaluations paid, wall seconds) plus
+  the per-app acceptance headline.
+
+Apps are built at smoke scale so the benchmark matches the committed
+``results/default/ablation_zerocost.json`` configuration.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.analysis.zerocost import SCORERS, get_scorer, proxy_batch
+from repro.experiments.context import ExperimentContext
+from repro.experiments.zerocost import (
+    HEADLINE_QUANTILE,
+    MAX_PROXY_EPOCH_FRAC,
+    MAX_TAU_DROP,
+    MIN_EVALS_CUT,
+    PROXY_BATCH_SIZE,
+    headline_verdict,
+    measure_frontier,
+)
+from repro.nas import estimate_candidate
+
+from .timing import bench_ms
+
+SEED = 0
+BENCH_APPS = ("cifar10", "mnist")
+
+__all__ = [
+    "SEED", "BENCH_APPS", "MIN_EVALS_CUT", "MAX_TAU_DROP",
+    "MAX_PROXY_EPOCH_FRAC", "bench_problem", "proxy_cost_case",
+    "frontier_case",
+]
+
+
+def bench_problem(app: str):
+    """The app's smoke-scale problem (same overrides the ablation uses)."""
+    tmp = tempfile.mkdtemp(prefix="bench-zc-")
+    try:
+        return ExperimentContext(scale="smoke", workdir=tmp).problem(app)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def proxy_cost_case(problem, rounds, warmup, seed: int = SEED) -> dict:
+    """Per-candidate proxy cost vs one estimation epoch, per scorer."""
+    rng = np.random.default_rng(seed)
+    seq = problem.space.sample(rng)
+    batch = proxy_batch(problem.dataset,
+                        min(PROXY_BATCH_SIZE, problem.batch_size))
+
+    t0 = time.perf_counter()
+    estimate_candidate(problem, seq, seed=seed)
+    epoch_ms = ((time.perf_counter() - t0) * 1e3
+                / max(problem.estimation_epochs, 1))
+
+    scorers = {}
+    for name in sorted(SCORERS):
+        scorer = get_scorer(name)
+        ms = bench_ms(lambda: scorer.score(problem, seq, seed=seed,
+                                           batch=batch),
+                      rounds=rounds, warmup=warmup)
+        scorers[name] = {
+            "proxy_ms": round(ms, 4),
+            "epoch_frac": round(ms / epoch_ms, 4),
+        }
+    return {
+        "app": problem.name,
+        "proxy_batch_size": min(PROXY_BATCH_SIZE, problem.batch_size),
+        "epoch_ms": round(epoch_ms, 3),
+        "scorers": scorers,
+    }
+
+
+def frontier_case(app: str, n_candidates: int, seed: int = SEED) -> dict:
+    """The app's tau-vs-cost frontier + acceptance headline."""
+    problem = bench_problem(app)
+    study, rows = measure_frontier(problem, n_candidates=n_candidates,
+                                   seed=seed)
+    headline = headline_verdict(study, rows)
+    return {
+        "app": app,
+        "n_candidates": n_candidates,
+        "estimation_epochs": study.estimation_epochs,
+        "tau_partial": round(study.tau_partial, 4),
+        "partial_ms": round(study.partial_seconds * 1e3, 3),
+        "proxy_ms": {k: round(v * 1e3, 4)
+                     for k, v in study.proxy_seconds.items()},
+        "rows": [
+            {"tier": r.tier, "scorer": r.scorer, "quantile": r.quantile,
+             "tau": round(r.tau, 4), "partial_evals": r.partial_evals,
+             "cost_seconds": round(r.cost_seconds, 3)}
+            for r in rows
+        ],
+        "headline": headline,
+    }

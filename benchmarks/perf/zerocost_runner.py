@@ -1,0 +1,180 @@
+"""Emit ``BENCH_zerocost.json``: the zero-cost admission frontier.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/zerocost_runner.py          # full
+    PYTHONPATH=src python benchmarks/perf/zerocost_runner.py --quick  # CI tier
+    PYTHONPATH=src python benchmarks/perf/zerocost_runner.py --quick \
+        --check BENCH_zerocost.json
+
+``--check`` enforces the cascade's acceptance bars on the *fresh*
+numbers (the proxy tier must actually cut >= ``MIN_EVALS_CUT`` of the
+partial-training evaluations; the headline scorer's per-candidate cost
+must stay under ``MAX_PROXY_EPOCH_FRAC`` of one estimation epoch; the
+cascade's Kendall tau must stay within tolerance of the no-proxy
+baseline) and compares proxy timings against a committed baseline,
+failing on >``REGRESSION_FACTOR``x regression.
+
+Quick mode samples fewer candidates, so the tau tolerance is the loose
+``QUICK_TAU_TOL`` — the strict ``MAX_TAU_DROP`` bar is enforced in
+full mode, i.e. on the committed artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+if __package__ in (None, ""):      # `python benchmarks/perf/zerocost_runner.py`
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+
+import numpy as np
+
+from benchmarks.perf import timing, zerocost_cases
+
+#: CI gate on baseline comparison — loose on purpose, shared runners jitter.
+REGRESSION_FACTOR = 2.0
+#: quick mode samples ~1/3 the candidates, so tau is noisy; the strict
+#: MAX_TAU_DROP bar only applies to full-mode (committed) numbers.
+QUICK_TAU_TOL = 0.30
+#: timing slack for the proxy-cost bar in quick mode (CI runner jitter).
+QUICK_COST_SLACK = 2.0
+
+FULL_CANDIDATES = 60
+QUICK_CANDIDATES = 20
+
+
+def collect(quick: bool = False) -> dict:
+    rounds = timing.QUICK_ROUNDS if quick else timing.ROUNDS
+    warmup = 1 if quick else timing.WARMUP_ROUNDS
+    n = QUICK_CANDIDATES if quick else FULL_CANDIDATES
+
+    proxy_cost = {}
+    frontier = {}
+    for app in zerocost_cases.BENCH_APPS:
+        print(f"  zerocost micro: proxy cost on {app} ...", flush=True)
+        problem = zerocost_cases.bench_problem(app)
+        proxy_cost[app] = zerocost_cases.proxy_cost_case(
+            problem, rounds, warmup)
+        print(f"  zerocost frontier: {app} x{n} candidates ...", flush=True)
+        frontier[app] = zerocost_cases.frontier_case(app, n)
+
+    return {
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "mode": "quick" if quick else "full",
+            "rounds": rounds,
+            "warmup": warmup,
+            "seed": zerocost_cases.SEED,
+        },
+        "bars": {
+            "min_evals_cut": zerocost_cases.MIN_EVALS_CUT,
+            "max_tau_drop": zerocost_cases.MAX_TAU_DROP,
+            "max_proxy_epoch_frac": zerocost_cases.MAX_PROXY_EPOCH_FRAC,
+        },
+        "proxy_cost": proxy_cost,
+        "frontier": frontier,
+    }
+
+
+def check(current: dict, baseline_path: str) -> int:
+    """Acceptance bars on the fresh run + loose baseline regression
+    gate; returns the number of failures."""
+    failures = 0
+    quick = current["env"]["mode"] == "quick"
+    tau_tol = QUICK_TAU_TOL if quick else zerocost_cases.MAX_TAU_DROP
+    cost_bar = zerocost_cases.MAX_PROXY_EPOCH_FRAC * \
+        (QUICK_COST_SLACK if quick else 1.0)
+
+    for app, f in current["frontier"].items():
+        h = f["headline"]
+        status = "ok"
+        if h["evals_cut"] < zerocost_cases.MIN_EVALS_CUT:
+            failures += 1
+            status = "FAILED"
+        print(f"  check {app} evals cut: {h['evals_cut']:.0%} "
+              f"(floor {zerocost_cases.MIN_EVALS_CUT:.0%}) -> {status}")
+
+        status = "ok"
+        if h["tau_drop"] > tau_tol:
+            failures += 1
+            status = "FAILED"
+        print(f"  check {app} tau: cascade {h['tau_cascade']:.3f} vs "
+              f"baseline {h['tau_baseline']:.3f} (drop {h['tau_drop']:+.3f}"
+              f", tolerance {tau_tol}) -> {status}")
+
+        status = "ok"
+        if not h["proxy_epoch_frac"] < cost_bar:
+            failures += 1
+            status = "FAILED"
+        print(f"  check {app} proxy cost: {h['proxy_epoch_frac']:.1%} of "
+              f"one epoch (bar {cost_bar:.0%}) -> {status}")
+
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    for app, row in current["proxy_cost"].items():
+        base = baseline.get("proxy_cost", {}).get(app)
+        if not base:
+            continue
+        for name, cur in row["scorers"].items():
+            if name not in base["scorers"]:
+                continue
+            limit = base["scorers"][name]["proxy_ms"] * REGRESSION_FACTOR
+            status = "ok"
+            if cur["proxy_ms"] > limit:
+                failures += 1
+                status = "REGRESSED"
+            print(f"  check {app}.{name}: {cur['proxy_ms']:.3f}ms vs "
+                  f"baseline {base['scorers'][name]['proxy_ms']:.3f}ms "
+                  f"(limit {limit:.3f}ms) -> {status}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI tier: fewer rounds, fewer candidates")
+    parser.add_argument("--out", default="BENCH_zerocost.json",
+                        help="output path (default: BENCH_zerocost.json)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="enforce the cascade acceptance bars and "
+                             "compare proxy timings against a baseline "
+                             f"(> {REGRESSION_FACTOR}x regression fails)")
+    args = parser.parse_args(argv)
+
+    print(f"collecting ({'quick' if args.quick else 'full'} mode) ...")
+    results = collect(quick=args.quick)
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    for app, fr in results["frontier"].items():
+        h = fr["headline"]
+        print(f"{app}: cascade [{h['scorer']} @ {h['quantile']:.0%} "
+              f"rejected] tau {h['tau_baseline']:.3f} -> "
+              f"{h['tau_cascade']:.3f} (drop {h['tau_drop']:+.3f}), "
+              f"evals cut {h['evals_cut']:.0%}, proxy "
+              f"{h['proxy_epoch_frac']:.1%} of one epoch -> "
+              f"{'PASS' if h['pass'] else 'fail'}")
+
+    if args.check:
+        print(f"checking against {args.check} ...")
+        failures = check(results, args.check)
+        if failures:
+            print(f"FAIL: {failures} zerocost check(s) failed")
+            return 1
+        print("zerocost check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

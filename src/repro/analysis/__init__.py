@@ -17,9 +17,21 @@ Two halves:
 from .gate import GateStats, PreflightGate
 from .interp import ANALYZED_KINDS, analyze, register_handler
 from .report import Diagnostic, GraphReport, LayerReport
+from .zerocost import (
+    SCORERS,
+    GradNormScorer,
+    NTKTraceScorer,
+    SynflowScorer,
+    ZeroCostGate,
+    ZeroCostScorer,
+    get_scorer,
+    make_gate,
+)
 
 __all__ = [
     "analyze", "register_handler", "ANALYZED_KINDS",
     "GraphReport", "LayerReport", "Diagnostic",
     "PreflightGate", "GateStats",
+    "ZeroCostScorer", "GradNormScorer", "SynflowScorer", "NTKTraceScorer",
+    "SCORERS", "get_scorer", "ZeroCostGate", "make_gate",
 ]

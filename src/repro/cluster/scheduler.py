@@ -118,7 +118,8 @@ def _evaluate_task(problem, arch_seq, seed, provider_ref, matcher,
 def run_search(problem, strategy, num_candidates: int, *,
                scheme: str = "baseline", store=None, evaluator=None,
                provider_policy="parent", seed: int = 0,
-               static_gate=None, name: Optional[str] = None,
+               static_gate=None, zero_cost=None,
+               name: Optional[str] = None,
                cache=None, prefetch: bool = False, async_io=False,
                transport=None, retry: Optional[RetryPolicy] = None,
                task_timeout: Optional[float] = None,
@@ -131,6 +132,17 @@ def run_search(problem, strategy, num_candidates: int, *,
     attached to the strategy (unless it already has one) so every
     proposal is shape/dtype-checked before an evaluator sees it; its
     rejection stats land in ``trace.static_stats``.
+
+    ``zero_cost`` upgrades the gate to the two-tier admission cascade
+    (:class:`repro.analysis.ZeroCostGate`): static analysis first, then
+    an init-time proxy score with quantile admission, so partial
+    training is spent only on candidates the proxy does not rank at the
+    bottom.  Pass ``True`` (defaults: grad-norm scorer, bottom 30%
+    rejected), a scorer name (``"gradnorm"`` / ``"synflow"`` /
+    ``"ntk"``), a kwargs dict for :class:`ZeroCostGate`, or a
+    configured gate.  ``zero_cost`` subsumes ``static_gate``; per-tier
+    counters (``static_rejected`` / ``proxy_rejected`` /
+    ``proxy_seconds``) land in ``trace.static_stats``.
 
     ``cache`` / ``prefetch`` / ``async_io`` / ``transport`` select the
     checkpoint I/O fast path (module docstring); all default to the
@@ -152,11 +164,10 @@ def run_search(problem, strategy, num_candidates: int, *,
     if transfers and store is None:
         raise ValueError(f"scheme {scheme!r} needs a checkpoint store")
     retry = retry or RetryPolicy(max_attempts=1)
-    if static_gate is True:
-        from ..analysis import PreflightGate
-        static_gate = PreflightGate(problem.space)
-    if static_gate is not None and strategy.gate is None:
-        strategy.gate = static_gate
+    from ..analysis.zerocost import make_gate
+    gate = make_gate(problem, static_gate=static_gate, zero_cost=zero_cost)
+    if gate is not None and strategy.gate is None:
+        strategy.gate = gate
     policy = get_policy(provider_policy, space=problem.space)
     evaluator = evaluator or SerialEvaluator()
 

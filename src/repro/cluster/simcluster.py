@@ -88,6 +88,7 @@ class CostModel:
     base_seconds: float = 20.0        # fixed cost: startup, data loading
     seconds_per_param: float = 1e-4   # marginal training cost per weight
     dispatch_latency: float = 0.5     # serial scheduler, per submission
+    proxy_seconds: float = 1.0        # one zero-cost proxy score (fresh)
     ckpt_latency: float = 0.05        # fixed latency per checkpoint I/O
     write_bandwidth: float = 200e6    # bytes/s, candidate -> store
     read_bandwidth: float = 400e6     # bytes/s, store -> candidate
@@ -130,9 +131,19 @@ class SimulatedCluster:
     def run(self, strategy, num_candidates: int, *,
             scheme: str = "baseline", provider_policy="parent",
             seed: int = 0, cache=None, async_io: bool = False,
+            static_gate=None, zero_cost=None,
             faults: Optional[FaultModel] = None,
             retry: Optional[RetryPolicy] = None) -> Trace:
         transfers = scheme != "baseline"
+        # same gating knobs as run_search; the proxy tier's virtual cost
+        # (proxy_seconds per *fresh* score) is charged to the serial
+        # dispatcher below, mirroring where the real scheduler pays it
+        from ..analysis.zerocost import make_gate
+        made = make_gate(self.problem, static_gate=static_gate,
+                         zero_cost=zero_cost)
+        if made is not None and strategy.gate is None:
+            strategy.gate = made
+        gate = getattr(strategy, "gate", None)
         policy = get_policy(provider_policy, space=self.problem.space)
         rng = np.random.default_rng(seed)
         # dedicated streams: the fault schedule never perturbs provider
@@ -162,8 +173,14 @@ class SimulatedCluster:
             free_time, gpu = heapq.heappop(gpus)
             dispatch_at = max(dispatcher_free, free_time)
             drain(dispatch_at)
+            proxied_before = gate.stats.proxy_scored if gate else 0
             proposal = strategy.ask()
             dispatcher_free = dispatch_at + self.cost.dispatch_latency
+            if gate is not None:
+                # every fresh proxy score this ask triggered (rejected
+                # candidates included) occupies the serial dispatcher
+                fresh_scores = gate.stats.proxy_scored - proxied_before
+                dispatcher_free += fresh_scores * self.cost.proxy_seconds
             record = TraceRecord(
                 candidate_id=candidate_id,
                 arch_seq=tuple(proposal.arch_seq), score=float("nan"),
@@ -282,4 +299,11 @@ class SimulatedCluster:
                 trace.io_stats["async_io"] = True
         if faults is not None:
             trace.fault_stats = fault_stats.as_dict()
+        if gate is not None:
+            stats = gate.stats.as_dict()
+            # virtual proxy cost actually charged to the dispatcher
+            # (wall-clock proxy_seconds in the stats is the real compute)
+            stats["proxy_virtual_seconds"] = (gate.stats.proxy_scored
+                                              * self.cost.proxy_seconds)
+            trace.static_stats = stats
         return trace

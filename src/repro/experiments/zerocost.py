@@ -1,0 +1,302 @@
+"""Ablation: the zero-cost admission tier's tau-vs-cost frontier.
+
+The cascade (static analysis → zero-cost proxy → partial training)
+buys cheaper candidate triage at some ranking-fidelity price.  This
+study measures that price directly, per app:
+
+1. sample N statically valid architectures (the static tier's
+   rejections are counted but cost nothing),
+2. score each with every proxy (timed), with partial training (timed),
+   and with a longer *reference* run (``ref_factor`` x the estimation
+   epochs) that serves as ground truth,
+3. report Kendall's tau against the reference for three tiers —
+   proxy-only, partial-only (the no-proxy baseline), and the full
+   cascade that drops the bottom ``quantile`` of candidates by proxy
+   score and spends partial training only on the survivors (dropped
+   candidates are ranked below every survivor, ordered by proxy).
+
+The cascade's cost is ``N x proxy + survivors x partial`` seconds, so
+each row is one point on the tau-vs-cost frontier.  The headline
+verdict checks the PR's acceptance bars: >= 25% of partial-training
+evaluations cut at a tau drop of at most 0.02, with per-candidate
+proxy cost under 10% of one estimation epoch.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..analysis import PreflightGate, get_scorer
+from ..analysis.zerocost import SCORERS, proxy_batch
+from ..metrics import kendall_tau
+from ..nas import estimate_candidate
+from .report import pct, text_table
+
+#: acceptance bars (ISSUE 6): evals cut >= 25%, tau drop <= 0.02,
+#: per-candidate proxy cost < 10% of one estimation epoch
+MIN_EVALS_CUT = 0.25
+MAX_TAU_DROP = 0.02
+MAX_PROXY_EPOCH_FRAC = 0.10
+
+DEFAULT_QUANTILES = (0.25, 0.3, 0.5)
+HEADLINE_QUANTILE = 0.25
+
+#: proxies are scored on a *small* fixed batch — 8 rows is enough for a
+#: rank signal and keeps the per-candidate cost well under the 10% bar
+#: even on apps whose estimation epoch is only a handful of batches
+PROXY_BATCH_SIZE = 8
+
+
+@dataclass(frozen=True)
+class TierRow:
+    """One point on an app's tau-vs-cost frontier."""
+
+    app: str
+    tier: str                  # "proxy", "partial" or "cascade"
+    scorer: str                # "" for the partial tier
+    quantile: float            # fraction rejected by proxy (cascade only)
+    tau: float                 # Kendall tau-b vs the reference ranking
+    partial_evals: int         # partial trainings this tier pays for
+    cost_seconds: float        # proxy + partial seconds for N candidates
+
+
+@dataclass(frozen=True)
+class AppStudy:
+    """Per-app measurement underlying the frontier rows."""
+
+    app: str
+    n_candidates: int
+    static_checked: int
+    static_rejected: int
+    estimation_epochs: int
+    partial_seconds: float     # mean per candidate
+    ref_seconds: float         # mean per candidate
+    proxy_seconds: dict        # scorer -> mean per candidate
+    tau_partial: float         # the no-proxy baseline
+
+
+@dataclass(frozen=True)
+class ZeroCostResult:
+    rows: tuple
+    studies: tuple
+    headline: dict             # app -> acceptance verdict numbers
+
+    def row(self, app: str, tier: str, scorer: str = "",
+            quantile: float = 0.0) -> TierRow:
+        for r in self.rows:
+            if (r.app, r.tier, r.scorer) == (app, tier, scorer) and \
+                    abs(r.quantile - quantile) < 1e-9:
+                return r
+        raise KeyError((app, tier, scorer, quantile))
+
+    def as_dict(self) -> dict:
+        return {
+            "rows": [asdict(r) for r in self.rows],
+            "studies": [asdict(s) for s in self.studies],
+            "headline": self.headline,
+            "bars": {"min_evals_cut": MIN_EVALS_CUT,
+                     "max_tau_drop": MAX_TAU_DROP,
+                     "max_proxy_epoch_frac": MAX_PROXY_EPOCH_FRAC},
+        }
+
+
+def _sample_valid(problem, n: int, rng) -> tuple:
+    """N distinct statically valid sequences + the gate that vetted
+    them (its stats are the static tier of the frontier)."""
+    gate = PreflightGate(problem.space)
+    seqs: list = []
+    seen: set = set()
+    budget = 200 * n
+    while len(seqs) < n and budget > 0:
+        budget -= 1
+        seq = problem.space.sample(rng)
+        if seq in seen:
+            continue
+        seen.add(seq)
+        if gate.admits(seq):
+            seqs.append(seq)
+    if len(seqs) < n:
+        raise RuntimeError(f"{problem.name}: only {len(seqs)}/{n} valid "
+                           "candidates found")
+    return tuple(seqs), gate
+
+
+def _cascade_scores(proxy, partial, reject_fraction: float):
+    """Combined cascade ranking: survivors keep their partial score;
+    the bottom ``reject_fraction`` by proxy never train and are ranked
+    strictly below every survivor, ordered among themselves by proxy."""
+    n = len(proxy)
+    n_reject = int(round(reject_fraction * n))
+    order = np.argsort(np.asarray(proxy, dtype=np.float64), kind="stable")
+    combined = np.asarray(partial, dtype=np.float64).copy()
+    floor = float(combined.min())
+    for pos, idx in enumerate(order[:n_reject]):
+        combined[idx] = floor - (n_reject - pos)
+    return combined, n - n_reject
+
+
+def measure_frontier(problem, *, n_candidates: int,
+                     scorers=tuple(sorted(SCORERS)),
+                     quantiles=DEFAULT_QUANTILES,
+                     proxy_batch_size: int = PROXY_BATCH_SIZE,
+                     ref_factor: int = 4, seed: int = 0):
+    """The per-app measurement; returns (AppStudy, [TierRow, ...])."""
+    app = problem.name
+    rng = np.random.default_rng(seed + 23)
+    seqs, gate = _sample_valid(problem, n_candidates, rng)
+    batch = proxy_batch(problem.dataset,
+                        min(proxy_batch_size, problem.batch_size))
+
+    t0 = time.perf_counter()
+    partial = [estimate_candidate(problem, s, seed=seed).score
+               for s in seqs]
+    partial_sec = (time.perf_counter() - t0) / n_candidates
+    ref_epochs = max(problem.estimation_epochs * ref_factor,
+                     problem.estimation_epochs + 2)
+    t0 = time.perf_counter()
+    reference = [estimate_candidate(problem, s, seed=seed,
+                                    epochs=ref_epochs).score
+                 for s in seqs]
+    ref_sec = (time.perf_counter() - t0) / n_candidates
+
+    proxy_scores: dict = {}
+    proxy_sec: dict = {}
+    for name in scorers:
+        scorer = get_scorer(name)
+        t0 = time.perf_counter()
+        proxy_scores[name] = [scorer.score(problem, s, seed=seed,
+                                           batch=batch) for s in seqs]
+        proxy_sec[name] = (time.perf_counter() - t0) / n_candidates
+
+    tau_partial = kendall_tau(partial, reference)
+    rows = [TierRow(app=app, tier="partial", scorer="", quantile=0.0,
+                    tau=float(tau_partial), partial_evals=n_candidates,
+                    cost_seconds=float(partial_sec * n_candidates))]
+    for name in scorers:
+        rows.append(TierRow(
+            app=app, tier="proxy", scorer=name, quantile=0.0,
+            tau=float(kendall_tau(proxy_scores[name], reference)),
+            partial_evals=0,
+            cost_seconds=float(proxy_sec[name] * n_candidates)))
+        for q in quantiles:
+            combined, survivors = _cascade_scores(proxy_scores[name],
+                                                  partial, q)
+            rows.append(TierRow(
+                app=app, tier="cascade", scorer=name, quantile=float(q),
+                tau=float(kendall_tau(combined, reference)),
+                partial_evals=survivors,
+                cost_seconds=float(proxy_sec[name] * n_candidates
+                                   + partial_sec * survivors)))
+
+    study = AppStudy(
+        app=app, n_candidates=n_candidates,
+        static_checked=gate.stats.checked,
+        static_rejected=gate.stats.rejected,
+        estimation_epochs=problem.estimation_epochs,
+        partial_seconds=float(partial_sec), ref_seconds=float(ref_sec),
+        proxy_seconds={k: float(v) for k, v in proxy_sec.items()},
+        tau_partial=float(tau_partial),
+    )
+    return study, rows
+
+
+def headline_verdict(study: AppStudy, rows) -> dict:
+    """Acceptance verdict at the headline quantile: the best cascade
+    scorer for the app (the knob a user would tune once per app),
+    restricted to scorers that honour the proxy-cost bar — a scorer
+    that wins on tau by outspending the budget is not admissible."""
+    epoch_sec = study.partial_seconds / max(study.estimation_epochs, 1)
+    candidates = [r for r in rows
+                  if r.app == study.app and r.tier == "cascade"
+                  and abs(r.quantile - HEADLINE_QUANTILE) < 1e-9]
+    cheap = [r for r in candidates
+             if study.proxy_seconds[r.scorer] / epoch_sec
+             < MAX_PROXY_EPOCH_FRAC]
+    best = max(cheap or candidates, key=lambda r: r.tau)
+    proxy_sec = study.proxy_seconds[best.scorer]
+    evals_cut = 1.0 - best.partial_evals / study.n_candidates
+    tau_drop = study.tau_partial - best.tau
+    return {
+        "scorer": best.scorer,
+        "quantile": best.quantile,
+        "tau_baseline": round(study.tau_partial, 4),
+        "tau_cascade": round(best.tau, 4),
+        "tau_drop": round(tau_drop, 4),
+        "evals_cut": round(evals_cut, 4),
+        "proxy_epoch_frac": round(proxy_sec / epoch_sec, 4),
+        "pass": bool(evals_cut >= MIN_EVALS_CUT
+                     and tau_drop <= MAX_TAU_DROP
+                     and proxy_sec / epoch_sec < MAX_PROXY_EPOCH_FRAC),
+    }
+
+
+def run_ablation_zerocost(ctx, apps, n_candidates: Optional[int] = None,
+                          scorers=tuple(sorted(SCORERS)),
+                          quantiles=DEFAULT_QUANTILES,
+                          proxy_batch_size: int = PROXY_BATCH_SIZE,
+                          ref_factor: int = 4, seed: int = 0,
+                          artifact: bool = True) -> ZeroCostResult:
+    n = ctx.config.num_candidates if n_candidates is None else n_candidates
+    all_rows: list = []
+    studies: list = []
+    headline: dict = {}
+    for app in apps:
+        problem = ctx.problem(app)
+        study, rows = measure_frontier(
+            problem, n_candidates=n, scorers=scorers,
+            quantiles=quantiles, proxy_batch_size=proxy_batch_size,
+            ref_factor=ref_factor, seed=seed)
+        studies.append(study)
+        all_rows.extend(rows)
+        headline[app] = headline_verdict(study, rows)
+    result = ZeroCostResult(rows=tuple(all_rows), studies=tuple(studies),
+                            headline=headline)
+    if artifact:
+        path = ctx.workdir / "ablation_zerocost.json"
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(result.as_dict(), f, indent=2)
+            f.write("\n")
+    return result
+
+
+def format_ablation_zerocost(result: ZeroCostResult) -> str:
+    study_by_app = {s.app: s for s in result.studies}
+
+    def cost_label(r: TierRow) -> str:
+        s = study_by_app[r.app]
+        frac = r.cost_seconds / (s.partial_seconds * s.n_candidates)
+        return f"{r.cost_seconds:.2f}s ({pct(frac, 0)})"
+
+    frontier = text_table(
+        "Ablation: zero-cost admission frontier "
+        "(tau vs the long-run reference ranking)",
+        ["App", "Tier", "Scorer", "Rejected", "Partial evals", "Tau",
+         "Cost"],
+        [
+            [r.app, r.tier, r.scorer or "-",
+             pct(r.quantile, 0) if r.tier == "cascade" else "-",
+             r.partial_evals, f"{r.tau:.3f}", cost_label(r)]
+            for r in result.rows
+        ],
+    )
+    verdict = text_table(
+        f"Headline (cascade at {pct(HEADLINE_QUANTILE, 0)} rejection): "
+        f"bars = evals cut >= {pct(MIN_EVALS_CUT, 0)}, tau drop <= "
+        f"{MAX_TAU_DROP}, proxy < {pct(MAX_PROXY_EPOCH_FRAC, 0)} of one "
+        "epoch",
+        ["App", "Scorer", "Tau (base)", "Tau (cascade)", "Drop",
+         "Evals cut", "Proxy/epoch", "Pass"],
+        [
+            [app, h["scorer"], f"{h['tau_baseline']:.3f}",
+             f"{h['tau_cascade']:.3f}", f"{h['tau_drop']:+.3f}",
+             pct(h["evals_cut"], 0), pct(h["proxy_epoch_frac"], 1),
+             "yes" if h["pass"] else "NO"]
+            for app, h in result.headline.items()
+        ],
+    )
+    return frontier + "\n\n" + verdict

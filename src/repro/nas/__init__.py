@@ -31,6 +31,7 @@ from .strategies import (
     RegularizedEvolution,
     Strategy,
     SurrogateSearch,
+    is_failure_score,
 )
 
 __all__ = [
@@ -39,7 +40,7 @@ __all__ = [
     "BatchNormOp", "ActivationOp", "DropoutOp", "FlattenOp", "ConcatenateOp",
     "SearchSpace", "Problem",
     "Strategy", "Proposal", "RandomSearch", "RegularizedEvolution",
-    "SurrogateSearch",
+    "SurrogateSearch", "is_failure_score",
     "estimate_candidate", "full_train", "EstimationResult", "FullTrainResult",
     "FAILURE_SCORE",
 ]

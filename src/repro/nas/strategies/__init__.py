@@ -1,6 +1,6 @@
 """Search strategies: random, regularized evolution, surrogate."""
 
-from .base import Proposal, Strategy
+from .base import Proposal, Strategy, is_failure_score
 from .evolution import RegularizedEvolution
 from .random_search import RandomSearch
 from .surrogate import SurrogateSearch
@@ -11,4 +11,5 @@ __all__ = [
     "RandomSearch",
     "RegularizedEvolution",
     "SurrogateSearch",
+    "is_failure_score",
 ]

@@ -19,6 +19,18 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..estimation import FAILURE_SCORE
+
+
+def is_failure_score(score) -> bool:
+    """True for the FAILURE_SCORE sentinel (and anything at or below it,
+    or non-finite) — scores the scheduler books for contained faults and
+    unbuildable candidates.  Strategies must keep such records out of
+    their learning state: a failed candidate has no checkpoint and must
+    never be selected as a mutation parent or weight provider."""
+    score = float(score)
+    return not np.isfinite(score) or score <= FAILURE_SCORE
+
 
 @dataclass(frozen=True)
 class Proposal:

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from .base import Proposal, Strategy
+from .base import Proposal, Strategy, is_failure_score
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,14 @@ class RegularizedEvolution(Strategy):
         ))
 
     def tell(self, candidate_id, arch_seq, score) -> None:
+        # failed evaluations stay out of the FIFO: a FAILURE_SCORE member
+        # has no checkpoint, yet the aging tournament picks by *oldest
+        # candidate_id* — it would happily breed from (and point the
+        # scheduler's provider selection at) a candidate that never
+        # trained.  The trace still records the failure; the population
+        # only learns from real scores.
+        if is_failure_score(score):
+            return
         self.population.append(
             _Member(candidate_id, tuple(arch_seq), float(score))
         )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import Proposal, Strategy
+from .base import Proposal, Strategy, is_failure_score
 
 
 class SurrogateSearch(Strategy):
@@ -47,16 +47,32 @@ class SurrogateSearch(Strategy):
             return self._admit(lambda: Proposal(self.space.sample(self.rng)))
         pool = [self.space.sample(self.rng) for _ in range(self.pool_size)]
         if self.gate is not None:
-            # statically invalid pool members never reach the surrogate;
-            # an all-invalid pool falls back to gated random sampling
-            pool = [s for s in pool if self.gate.admits(s)]
-            if not pool:
-                return self._admit(
-                    lambda: Proposal(self.space.sample(self.rng)))
-        best = max(pool, key=self._predict)
-        return Proposal(best, parent_id=self._nearest_id(best))
+            # statically invalid pool members never reach the surrogate —
+            # but only *pre-screened* (stat-free): the proposal actually
+            # emitted is booked once below by _admit, the single
+            # accounting choke point, so trace.static_stats counts every
+            # ask identically across warmup/explore/surrogate phases
+            pool = [s for s in pool if self.gate.prescreen(s)]
+        # walk the pool best-first; a gate (e.g. the zero-cost proxy
+        # tier) can veto the top pick, in which case the next-ranked
+        # member is proposed, falling back to fresh samples if the
+        # whole pool is vetoed
+        ranked = iter(sorted(pool, key=self._predict, reverse=True))
+
+        def propose() -> Proposal:
+            seq = next(ranked, None)
+            if seq is None:
+                seq = self.space.sample(self.rng)
+            return Proposal(seq, parent_id=self._nearest_id(seq))
+        return self._admit(propose)
 
     def tell(self, candidate_id, arch_seq, score) -> None:
+        # FAILURE_SCORE records never enter the kNN training set: one
+        # -1000 neighbour drags every nearby _predict average to the
+        # floor, and _nearest_id could select a provider whose
+        # checkpoint was never written.
+        if is_failure_score(score):
+            return
         self._evaluated.append((candidate_id, tuple(arch_seq), float(score)))
 
     def provider_candidates(self) -> tuple:
