@@ -1,0 +1,197 @@
+"""Supernet transfer-backend benchmark cases: bind vs copy, e2e, tau.
+
+The micro case times one provider→candidate handoff under each backend:
+the checkpoint path pays load + selective copy + save (real npz I/O),
+the supernet path pays a view re-bind.  The e2e case runs the same
+random-search trace (identical proposals, identical provider picks)
+under the PR-4 cached-LCS fast path and under the supernet backend,
+on two apps, and scores both against a 3x-longer-trained cold reference
+with Kendall's tau — the claim is wall-clock, not ranking, so the two
+backends' taus must stay close.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.apps import make_image_dataset
+from repro.apps.mnist import problem as mnist_problem
+from repro.checkpoint import CheckpointStore, weights_nbytes
+from repro.cluster import run_search
+from repro.metrics import kendall_tau
+from repro.nas import (
+    ActivationOp,
+    DenseOp,
+    FlattenOp,
+    IdentityOp,
+    Problem,
+    SearchSpace,
+)
+from repro.nas.estimation import estimate_candidate
+from repro.nas.strategies.random_search import RandomSearch
+from repro.transfer import SuperNet, SupernetTransferBackend, transfer_weights
+
+from .timing import bench_ms
+
+SEED = 0
+
+
+def _dense_problem():
+    """Dense-heavy app with ~1 MB checkpoints (the io-benchmark shape):
+    per-candidate I/O is a visible share of the turnaround, which is the
+    regime the paper's ThetaGPU campaigns live in."""
+    space = SearchSpace("bench-dense", (6, 6, 2))
+    space.add_fixed(FlattenOp(), name="flatten")
+    space.add_variable("dense0", [
+        DenseOp(256, "relu"), DenseOp(384, "relu"), DenseOp(512, "relu"),
+    ])
+    space.add_variable("act0", [IdentityOp(), ActivationOp("relu")])
+    space.add_variable("dense1", [DenseOp(256, "relu"), DenseOp(512, "relu")])
+    space.add_fixed(DenseOp(4), name="head")
+    ds = make_image_dataset(n_train=64, n_val=32, height=6, width=6,
+                            channels=2, classes=4, seed=SEED)
+    return Problem("bench-dense", space, ds, learning_rate=1e-2,
+                   batch_size=32, estimation_epochs=1, max_epochs=3,
+                   es_min_epochs=2)
+
+
+APPS = {
+    "dense": _dense_problem,
+    "mnist": lambda: mnist_problem(seed=SEED),
+}
+
+
+# ---------------------------------------------------------------------------
+# micro case: one transfer under each backend
+# ---------------------------------------------------------------------------
+def transfer_vs_bind_case(rounds, warmup):
+    """Checkpoint handoff (load + selective copy + save) vs view re-bind
+    for the same provider/receiver pair."""
+    problem = _dense_problem()
+    rng = np.random.default_rng(SEED)
+    provider_arch = problem.space.sample(rng)
+    receiver_arch = problem.space.sample(rng)
+    provider = problem.build_model(provider_arch, rng=1)
+    provider_weights = provider.get_weights()
+    payload = weights_nbytes(provider_weights)
+
+    tmp = tempfile.mkdtemp(prefix="bench-supernet-")
+    try:
+        store = CheckpointStore(tmp, compress=True)
+        store.save("prov", provider_weights)
+
+        def checkpoint_handoff():
+            receiver = problem.build_model(receiver_arch, rng=2)
+            w = store.load("prov")
+            transfer_weights(receiver, w, matcher="lcs")
+            store.save("cand", receiver.get_weights())
+
+        ckpt_ms = bench_ms(checkpoint_handoff, rounds=rounds, warmup=warmup)
+
+        backend = SupernetTransferBackend(SuperNet(problem.space, seed=SEED))
+        backend.bind(problem.build_model(provider_arch, rng=1))
+
+        def supernet_handoff():
+            receiver = problem.build_model(receiver_arch, rng=2)
+            backend.bind(receiver, provider_arch)
+
+        bind_ms = bench_ms(supernet_handoff, rounds=rounds, warmup=warmup)
+        # isolate the model build both paths share
+        build_ms = bench_ms(lambda: problem.build_model(receiver_arch, rng=2),
+                            rounds=rounds, warmup=warmup)
+        return {
+            "payload_bytes": payload,
+            "ckpt_bytes": store.nbytes("prov"),
+            "checkpoint_handoff_ms": round(ckpt_ms, 4),
+            "supernet_bind_ms": round(bind_ms, 4),
+            "model_build_ms": round(build_ms, 4),
+            "checkpoint_copied_bytes": payload,     # load + save both move it
+            "supernet_copied_bytes": 0,
+            "speedup": round(ckpt_ms / bind_ms, 1),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+SUPERNET_MICRO_CASES = {
+    "transfer_vs_bind": transfer_vs_bind_case,
+}
+
+
+# ---------------------------------------------------------------------------
+# e2e case: same trace under cached-LCS vs supernet, tau vs cold reference
+# ---------------------------------------------------------------------------
+def _reference_scores(problem, arch_seqs, seed):
+    """Cold 3x-longer-trained scores — the ranking ground truth both
+    backends are judged against."""
+    scores = []
+    for cid, arch in enumerate(arch_seqs):
+        result = estimate_candidate(
+            problem, arch, seed=seed + cid,
+            epochs=3 * problem.estimation_epochs)
+        scores.append(result.score)
+    return scores
+
+
+def e2e_backend_case(app: str, num_candidates: int = 24) -> dict:
+    """Cached-LCS (PR-4 fast path: cache + prefetch + write-behind) vs
+    the supernet backend on identical proposals and provider picks."""
+    problem = APPS[app]()
+    tmp = tempfile.mkdtemp(prefix=f"bench-supernet-{app}-")
+    try:
+        def one_run(**kw):
+            strategy = RandomSearch(problem.space, rng=SEED)
+            t0 = time.perf_counter()
+            trace = run_search(problem, strategy, num_candidates,
+                               scheme="lcs", provider_policy="nearest",
+                               seed=SEED, **kw)
+            return trace, time.perf_counter() - t0
+
+        lcs_trace, lcs_wall = one_run(
+            store=CheckpointStore(tmp, compress=True),
+            cache=True, prefetch=True, async_io=True)
+        sup_trace, sup_wall = one_run(transfer_backend="supernet")
+
+        lcs_archs = [r.arch_seq for r in lcs_trace.records]
+        sup_archs = [r.arch_seq for r in sup_trace.records]
+        assert lcs_archs == sup_archs, "backends must see the same proposals"
+
+        reference = _reference_scores(problem, lcs_archs, SEED)
+        tau_lcs = kendall_tau([r.score for r in lcs_trace.records],
+                              reference)
+        tau_sup = kendall_tau([r.score for r in sup_trace.records],
+                              reference)
+
+        def mean(vals):
+            vals = list(vals)
+            return sum(vals) / len(vals) if vals else 0.0
+
+        return {
+            "app": app,
+            "num_candidates": num_candidates,
+            "workload": (f"lcs random search, nearest provider, serial "
+                         f"evaluator, {num_candidates} candidates"),
+            "lcs_wall_s": round(lcs_wall, 3),
+            "supernet_wall_s": round(sup_wall, 3),
+            "wall_speedup": round(lcs_wall / sup_wall, 3),
+            "lcs_mean_io_blocked_ms": round(
+                1e3 * mean(r.io_blocked for r in lcs_trace), 3),
+            "supernet_mean_io_blocked_ms": round(
+                1e3 * mean(r.io_blocked for r in sup_trace), 3),
+            "lcs_copied_bytes": int(
+                lcs_trace.transfer_stats["copied_bytes"]),
+            "supernet_copied_bytes": int(
+                sup_trace.transfer_stats["copied_bytes"]),
+            "supernet_resliced_params": int(
+                sup_trace.transfer_stats["resliced_params"]),
+            "supernet_store": sup_trace.transfer_stats["store"],
+            "tau_lcs": round(tau_lcs, 4),
+            "tau_supernet": round(tau_sup, 4),
+            "tau_delta": round(abs(tau_sup - tau_lcs), 4),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

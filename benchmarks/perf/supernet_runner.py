@@ -1,0 +1,196 @@
+"""Emit ``BENCH_supernet.json``: zero-copy transfer-backend numbers.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/supernet_runner.py          # full
+    PYTHONPATH=src python benchmarks/perf/supernet_runner.py --quick  # CI
+    PYTHONPATH=src python benchmarks/perf/supernet_runner.py --quick \
+        --check BENCH_supernet.json
+
+``--check`` enforces two layers of gates:
+
+* **fresh-run invariants** — the supernet path must move zero bytes and
+  block on (essentially) zero I/O, its bind must beat the checkpoint
+  handoff by ``BIND_SPEEDUP_FLOOR``x, and at least one app must keep a
+  loose wall-clock edge (``FRESH_SPEEDUP_FLOOR``; shared CI runners
+  jitter, so the strict bar is enforced on the committed baseline, not
+  the fresh run);
+* **committed-baseline bars** — the checked-in ``BENCH_supernet.json``
+  itself must still show the PR's claims: >= ``BASELINE_SPEEDUP_BAR``x
+  end-to-end over cached-LCS on at least one app with Kendall's tau
+  within ``BASELINE_TAU_BAR`` of the LCS baseline on that same trace —
+  plus a loose timing-regression gate on the fresh bind time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+if __package__ in (None, ""):     # `python benchmarks/perf/supernet_runner.py`
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+
+import numpy as np
+
+from benchmarks.perf import supernet_cases, timing
+
+#: regression gate vs the committed baseline — loose, runners jitter.
+REGRESSION_FACTOR = 2.0
+#: fresh run: one view re-bind must beat one checkpoint handoff by this.
+BIND_SPEEDUP_FLOOR = 5.0
+#: fresh run: best-app wall-clock edge floor (loose; see module docstring).
+FRESH_SPEEDUP_FLOOR = 1.1
+#: fresh run: supernet blocked I/O per record must stay under this.
+FRESH_IO_BLOCKED_MS_CEILING = 0.5
+#: committed baseline: the PR's actual end-to-end claim.
+BASELINE_SPEEDUP_BAR = 1.3
+#: committed baseline: tau closeness on the trace that shows the speedup.
+BASELINE_TAU_BAR = 0.03
+
+#: (app, candidates) per tier — mnist carries the tau bar, so it gets
+#: enough candidates for the rank correlation to stabilise.
+E2E_TIERS = {
+    "full": (("dense", 24), ("mnist", 48)),
+    "quick": (("dense", 12), ("mnist", 32)),
+}
+
+
+def collect(quick: bool = False) -> dict:
+    rounds = timing.QUICK_ROUNDS if quick else timing.ROUNDS
+    warmup = 1 if quick else timing.WARMUP_ROUNDS
+
+    micro = {}
+    for name, case in supernet_cases.SUPERNET_MICRO_CASES.items():
+        print(f"  supernet micro: {name} ...", flush=True)
+        micro[name] = case(rounds, warmup)
+
+    e2e = {}
+    for app, n in E2E_TIERS["quick" if quick else "full"]:
+        print(f"  supernet e2e: {app} x{n} (cached-lcs vs supernet) ...",
+              flush=True)
+        e2e[app] = supernet_cases.e2e_backend_case(app, n)
+
+    return {
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "mode": "quick" if quick else "full",
+            "rounds": rounds,
+            "warmup": warmup,
+            "seed": supernet_cases.SEED,
+        },
+        "micro": micro,
+        "e2e": e2e,
+        "ru_maxrss_kb": {"after": timing.ru_maxrss_kb()},
+    }
+
+
+def check(current: dict, baseline_path: str) -> int:
+    """Fresh-run invariants + committed-baseline bars; returns the
+    number of failures."""
+    failures = 0
+
+    def gate(ok: bool, label: str) -> None:
+        nonlocal failures
+        if not ok:
+            failures += 1
+        print(f"  check {label} -> {'ok' if ok else 'FAILED'}")
+
+    row = current["micro"]["transfer_vs_bind"]
+    gate(row["supernet_copied_bytes"] == 0,
+         f"micro: bind copies {row['supernet_copied_bytes']}B (must be 0)")
+    gate(row["speedup"] >= BIND_SPEEDUP_FLOOR,
+         f"micro: bind {row['supernet_bind_ms']:.3f}ms vs handoff "
+         f"{row['checkpoint_handoff_ms']:.3f}ms = {row['speedup']:.0f}x "
+         f"(floor {BIND_SPEEDUP_FLOOR:.0f}x)")
+
+    best_speedup = 0.0
+    for app, e2e in current["e2e"].items():
+        best_speedup = max(best_speedup, e2e["wall_speedup"])
+        gate(e2e["supernet_copied_bytes"] == 0,
+             f"e2e {app}: supernet copied "
+             f"{e2e['supernet_copied_bytes']}B (must be 0)")
+        gate(e2e["supernet_mean_io_blocked_ms"]
+             <= FRESH_IO_BLOCKED_MS_CEILING,
+             f"e2e {app}: supernet blocked I/O "
+             f"{e2e['supernet_mean_io_blocked_ms']:.3f}ms/record "
+             f"(ceiling {FRESH_IO_BLOCKED_MS_CEILING}ms)")
+    gate(best_speedup >= FRESH_SPEEDUP_FLOOR,
+         f"e2e: best fresh wall speedup {best_speedup:.2f}x "
+         f"(loose floor {FRESH_SPEEDUP_FLOOR}x)")
+
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    claim_apps = [
+        (app, e2e) for app, e2e in baseline.get("e2e", {}).items()
+        if e2e["wall_speedup"] >= BASELINE_SPEEDUP_BAR
+        and e2e["tau_delta"] <= BASELINE_TAU_BAR
+    ]
+    gate(bool(claim_apps),
+         f"baseline: >=1 app with speedup >= {BASELINE_SPEEDUP_BAR}x AND "
+         f"tau delta <= {BASELINE_TAU_BAR} "
+         f"(found {[a for a, _ in claim_apps]})")
+
+    base_row = baseline.get("micro", {}).get("transfer_vs_bind")
+    if base_row:
+        limit = base_row["supernet_bind_ms"] * REGRESSION_FACTOR
+        gate(row["supernet_bind_ms"] <= limit,
+             f"regression: bind {row['supernet_bind_ms']:.3f}ms vs "
+             f"baseline {base_row['supernet_bind_ms']:.3f}ms "
+             f"(limit {limit:.3f}ms)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI tier: fewer rounds, fewer candidates")
+    parser.add_argument("--out", default="BENCH_supernet.json",
+                        help="output path (default: BENCH_supernet.json)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="enforce zero-copy invariants on the fresh "
+                             "run and the speedup/tau bars on BASELINE")
+    args = parser.parse_args(argv)
+
+    print(f"collecting ({'quick' if args.quick else 'full'} mode) ...")
+    results = collect(quick=args.quick)
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    micro = results["micro"]["transfer_vs_bind"]
+    print(f"one transfer: checkpoint {micro['checkpoint_handoff_ms']:.2f}ms "
+          f"({micro['checkpoint_copied_bytes']}B copied) -> bind "
+          f"{micro['supernet_bind_ms']:.3f}ms (0B) = "
+          f"{micro['speedup']:.0f}x")
+    for app, e2e in results["e2e"].items():
+        print(f"e2e {app} x{e2e['num_candidates']}: cached-lcs "
+              f"{e2e['lcs_wall_s']:.2f}s -> supernet "
+              f"{e2e['supernet_wall_s']:.2f}s "
+              f"({e2e['wall_speedup']:.2f}x), blocked I/O "
+              f"{e2e['lcs_mean_io_blocked_ms']:.2f}ms -> "
+              f"{e2e['supernet_mean_io_blocked_ms']:.2f}ms/record, "
+              f"tau {e2e['tau_lcs']:.3f} vs {e2e['tau_supernet']:.3f} "
+              f"(delta {e2e['tau_delta']:.3f})")
+
+    if args.check:
+        print(f"checking against {args.check} ...")
+        failures = check(results, args.check)
+        if failures:
+            print(f"FAIL: {failures} supernet check(s) failed")
+            return 1
+        print("supernet perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

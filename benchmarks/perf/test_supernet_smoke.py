@@ -1,0 +1,37 @@
+"""Smoke tier of the supernet transfer-backend benchmark harness.
+
+Structural claims (zero bytes copied, zero blocked I/O) keep hard
+thresholds; timing ratios use loose floors because shared CI runners
+jitter — the strict 1.3x / tau-0.03 bars are enforced against the
+committed ``BENCH_supernet.json`` by the runner's ``--check`` mode.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf import supernet_cases
+from benchmarks.perf.timing import QUICK_ROUNDS
+
+_WARMUP = 1
+
+
+def test_bind_is_zero_copy_and_beats_checkpoint_handoff():
+    row = supernet_cases.transfer_vs_bind_case(QUICK_ROUNDS, _WARMUP)
+    assert row["supernet_copied_bytes"] == 0, row
+    assert row["checkpoint_copied_bytes"] > 1_000_000, row
+    # a view re-bind vs load + copy + compressed save of ~1 MB: the
+    # committed baseline shows ~30x, 5x survives any runner
+    assert row["speedup"] >= 5.0, row
+
+
+def test_e2e_supernet_eliminates_blocked_io():
+    row = supernet_cases.e2e_backend_case("dense", num_candidates=10)
+    assert row["supernet_copied_bytes"] == 0, row
+    assert row["lcs_copied_bytes"] > 0, row
+    assert row["supernet_mean_io_blocked_ms"] <= 0.5, row
+    assert row["supernet_resliced_params"] > 0, row
+    # loose wall floor: the dense app's committed speedup is >5x
+    assert row["wall_speedup"] >= 1.1, row

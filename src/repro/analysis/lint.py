@@ -25,6 +25,12 @@ debugging paid for, now machine-enforced:
  R005      ``repro.tensor.reference_ops`` may only be imported from
            tests and benchmarks — production code must never fall back
            to the slow frozen kernels.
+ R006      No ``np.copy(...)``/``.copy()`` in the supernet transfer
+           path (``repro/transfer/supernet.py``): the backend's entire
+           claim is zero-copy view re-binding, so copying a superweight
+           view silently severs entanglement — writes land in a private
+           array instead of shared storage.  In-place ``np.copyto``
+           (re-init/scrub *into* the store) is the sanctioned tool.
 ========  ============================================================
 
 Suppression: append ``# lint: ignore[R001]`` (or a comma-separated
@@ -68,6 +74,7 @@ RULES = {
     "R003": "allocation inside an optimizer step body",
     "R004": "guarded shared state written outside the module lock",
     "R005": "reference_ops imported outside tests/benchmarks",
+    "R006": "superweight view copied in the supernet transfer path",
 }
 
 
@@ -264,6 +271,30 @@ class _R004Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+class _R006Visitor(ast.NodeVisitor):
+    """``np.copy(...)`` and ``<expr>.copy()`` calls — both materialise a
+    private array where the supernet path must hand out live views."""
+
+    def __init__(self):
+        self.findings: list[tuple[int, int, str]] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_numpy_attr(node.func, {"copy"}):
+            self.findings.append((
+                node.lineno, node.col_offset,
+                "np.copy materialises a private array in the zero-copy "
+                "supernet path — bind views and mutate in place "
+                "(np.copyto) instead"))
+        elif isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "copy":
+            self.findings.append((
+                node.lineno, node.col_offset,
+                ".copy() severs view entanglement in the supernet "
+                "transfer path — training writes would land in a "
+                "private array, not the shared store"))
+        self.generic_visit(node)
+
+
 class _R005Visitor(ast.NodeVisitor):
     """Any import path reaching ``reference_ops``."""
 
@@ -373,6 +404,11 @@ def lint_file(path: Path) -> list[Finding]:
         r005.visit(tree)
         raw.extend(("R005", *f) for f in r005.findings)
 
+    if "repro/transfer/" in posix and path.name == "supernet.py":
+        r006 = _R006Visitor()
+        r006.visit(tree)
+        raw.extend(("R006", *f) for f in r006.findings)
+
     suppressed = _suppressed_lines(source)
     findings = []
     for code, line, col, msg in raw:
@@ -401,7 +437,7 @@ def lint_paths(paths: Sequence) -> list[Finding]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repository invariant linter (rules R001-R005).",
+        description="Repository invariant linter (rules R001-R006).",
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "

@@ -46,6 +46,10 @@ class _Entry:
     weights: dict
     nbytes: int
     hidden_seconds: float = 0.0
+    #: zero-copy views of the supernet's entangled store — the bytes
+    #: belong to the shared store, not this cache, so the entry is
+    #: exempt from the byte budget (``nbytes == 0``)
+    shared: bool = False
 
 
 class WeightCache:
@@ -92,9 +96,17 @@ class WeightCache:
 
     # -- insert / evict -------------------------------------------------
     def put(self, key: str, weights: dict,
-            hidden_seconds: float = 0.0) -> bool:
+            hidden_seconds: float = 0.0, shared: bool = False) -> bool:
         """Insert (or refresh) ``key``; returns False when the payload
-        alone exceeds the byte budget and was rejected."""
+        alone exceeds the byte budget and was rejected.
+
+        ``shared=True`` marks a zero-copy entry whose arrays are views
+        of storage owned elsewhere (the supernet's entangled store):
+        it counts **zero** bytes against the budget — charging it would
+        double-count the superweights once per cached candidate and
+        evict real copied checkpoints to make room for views that cost
+        nothing.  Shared entries still participate in LRU order (an
+        eviction only drops the view, never the store)."""
         frozen = {}
         nbytes = 0
         for name, arr in weights.items():
@@ -102,6 +114,8 @@ class WeightCache:
             view.flags.writeable = False
             frozen[name] = view
             nbytes += int(view.nbytes)
+        if shared:
+            nbytes = 0
         with self._lock:
             if nbytes > self.max_bytes:
                 self.oversize_rejects += 1
@@ -112,7 +126,8 @@ class WeightCache:
             if old is not None:
                 self._nbytes -= old.nbytes
                 hidden_seconds += old.hidden_seconds
-            self._entries[key] = _Entry(frozen, nbytes, hidden_seconds)
+            self._entries[key] = _Entry(frozen, nbytes, hidden_seconds,
+                                        shared)
             self._nbytes += nbytes
             self.insertions += 1
             while self._nbytes > self.max_bytes and len(self._entries) > 1:
@@ -159,6 +174,8 @@ class WeightCache:
                 "insertions": self.insertions,
                 "oversize_rejects": self.oversize_rejects,
                 "entries": len(self._entries),
+                "shared_entries": sum(
+                    1 for e in self._entries.values() if e.shared),
                 "current_bytes": self._nbytes,
                 "max_bytes": self.max_bytes,
             }

@@ -74,6 +74,7 @@ from ..checkpoint import (
 )
 from ..nas.estimation import FAILURE_SCORE, estimate_candidate
 from ..transfer.policy import get_policy
+from ..transfer.supernet import SuperNet, SupernetTransferBackend
 from .evaluator import ProcessPoolEvaluator, SerialEvaluator
 from .resilience import (
     ChaosEvaluator,
@@ -115,11 +116,54 @@ def _evaluate_task(problem, arch_seq, seed, provider_ref, matcher,
     )
 
 
+def _evaluate_supernet_task(problem, arch_seq, seed, backend, descriptor):
+    """The zero-copy counterpart of :func:`_evaluate_task`: instead of a
+    weight payload the worker receives a tiny
+    :class:`~repro.transfer.SliceDescriptor` and resolves it by binding
+    the candidate to shared superweight views — training writes through
+    in place, so nothing is copied and nothing is checkpointed.  Only
+    in-process evaluators may run this (the scheduler rejects process
+    pools for the supernet backend)."""
+    provider_seq = None if descriptor is None else \
+        descriptor.provider_arch_seq
+    return estimate_candidate(
+        problem, arch_seq, seed=seed, supernet=backend,
+        provider_seq=provider_seq, keep_weights=True,
+    )
+
+
+def _resolve_supernet_backend(transfer_backend, problem, scheme,
+                              seed) -> Optional[SupernetTransferBackend]:
+    """Normalise the ``transfer_backend`` knob: ``"checkpoint"`` → None
+    (the copy path), ``"supernet"`` / a SuperNet / a configured backend
+    → the zero-copy backend."""
+    if isinstance(transfer_backend, SupernetTransferBackend):
+        return transfer_backend
+    matcher = scheme if scheme in ("lp", "lcs") else "lcs"
+    if isinstance(transfer_backend, SuperNet):
+        return SupernetTransferBackend(transfer_backend, matcher=matcher)
+    if transfer_backend == "supernet":
+        return SupernetTransferBackend(SuperNet(problem.space, seed=seed),
+                                       matcher=matcher)
+    if transfer_backend != "checkpoint":
+        raise ValueError(
+            f"unknown transfer_backend {transfer_backend!r}, expected "
+            f"'checkpoint', 'supernet', a SuperNet or a "
+            f"SupernetTransferBackend")
+    return None
+
+
+def _uses_process_pool(evaluator) -> bool:
+    return isinstance(evaluator, ProcessPoolEvaluator) or isinstance(
+        getattr(evaluator, "evaluator", None), ProcessPoolEvaluator)
+
+
 def run_search(problem, strategy, num_candidates: int, *,
                scheme: str = "baseline", store=None, evaluator=None,
                provider_policy="parent", seed: int = 0,
                static_gate=None, zero_cost=None,
                name: Optional[str] = None,
+               transfer_backend="checkpoint",
                cache=None, prefetch: bool = False, async_io=False,
                transport=None, retry: Optional[RetryPolicy] = None,
                task_timeout: Optional[float] = None,
@@ -150,6 +194,27 @@ def run_search(problem, strategy, num_candidates: int, *,
     semantically identical traces (same scores, same transfer stats) —
     only the ``io_blocked``/``io_hidden`` split changes.
 
+    ``transfer_backend`` selects how the provider's training signal
+    reaches the candidate.  ``"checkpoint"`` (default) is the paper's
+    copy path: load the provider checkpoint, selectively copy matched
+    tensors, save the candidate's own checkpoint.  ``"supernet"`` is the
+    zero-copy path (DESIGN.md "Supernet weight entanglement"): one
+    entangled parameter store per search space, candidates train through
+    leading-corner views of shared superweights, and "transfer" is view
+    re-binding — no store is required, per-transfer blocked I/O is ~0,
+    and ``copied_bytes`` is 0 by construction.  A :class:`SuperNet` or
+    configured :class:`SupernetTransferBackend` may be passed to share a
+    store across runs.  Supernet runs need an in-process evaluator
+    (serial or thread pool — process-pool workers could never write
+    their view updates back) and a transfer scheme (``"lp"``/``"lcs"``,
+    which still picks the provider and the match).  The checkpoint I/O
+    knobs (``prefetch`` / ``async_io`` / ``transport``) are inert no-ops
+    under supernet; a user-supplied ``cache`` is only used to publish
+    candidates' live views for inspection (zero byte budget,
+    ``shared=True`` entries).  ``resume=`` replays recorded scores but
+    the store itself restarts cold — weights are views, never
+    serialized.
+
     ``retry`` / ``task_timeout`` / ``journal`` / ``resume`` select the
     fault-tolerance layer (module docstring).  Containment is always
     on — a crashing worker yields a failed record, never a crashed
@@ -161,7 +226,13 @@ def run_search(problem, strategy, num_candidates: int, *,
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}, expected {SCHEMES}")
     transfers = scheme != "baseline"
-    if transfers and store is None:
+    backend = _resolve_supernet_backend(transfer_backend, problem, scheme,
+                                        seed)
+    if backend is not None and not transfers:
+        raise ValueError("transfer_backend='supernet' needs a transfer "
+                         "scheme ('lp' or 'lcs'); the baseline scheme "
+                         "never inherits weights")
+    if transfers and backend is None and store is None:
         raise ValueError(f"scheme {scheme!r} needs a checkpoint store")
     retry = retry or RetryPolicy(max_attempts=1)
     from ..analysis.zerocost import make_gate
@@ -170,27 +241,40 @@ def run_search(problem, strategy, num_candidates: int, *,
         strategy.gate = gate
     policy = get_policy(provider_policy, space=problem.space)
     evaluator = evaluator or SerialEvaluator()
+    if backend is not None and _uses_process_pool(evaluator):
+        raise ValueError(
+            "transfer_backend='supernet' trains through shared in-process "
+            "views; ProcessPoolEvaluator workers cannot write their "
+            "updates back — use SerialEvaluator or ThreadPoolEvaluator")
 
-    # -- I/O fast-path plumbing (all inert for the default sync run) ----
-    weight_cache = make_cache(cache, prefetch) if transfers else None
+    # -- I/O fast-path plumbing (all inert for the default sync run;
+    # the supernet backend performs no checkpoint I/O at all, so the
+    # prefetcher / write-behind writer / transport stay off and a cache
+    # is only created when the caller explicitly passes one) ------------
+    uses_store = transfers and backend is None
+    weight_cache = make_cache(cache, prefetch and uses_store) \
+        if transfers else None
     writer = None
     owns_writer = False
-    if transfers and async_io:
+    if uses_store and async_io:
         if isinstance(async_io, AsyncCheckpointWriter):
             writer = async_io
         else:
             writer = AsyncCheckpointWriter(store)
             owns_writer = True
     prefetcher = None
-    if transfers and prefetch:
+    if uses_store and prefetch:
         prefetcher = ProviderPrefetcher(store, weight_cache)
     if transport is None:
-        transport = "auto" if (transfers and
+        transport = "auto" if (uses_store and
                                isinstance(evaluator,
                                           ProcessPoolEvaluator)) else False
-    transport_obj = make_transport(transport) if transfers else None
+    transport_obj = make_transport(transport) if uses_store else None
     owns_transport = transport_obj is not None and transport_obj is not transport
     saved_keys: set[str] = set()   # keys saved this run (disk or enqueued)
+    arch_by_id: dict[int, tuple] = {}   # ok candidates, for slice descriptors
+    xfer_copied_bytes = 0
+    xfer_resliced = 0
 
     rng = np.random.default_rng(seed)
     # jitter draws come from a dedicated stream so retries never perturb
@@ -216,6 +300,8 @@ def run_search(problem, strategy, num_candidates: int, *,
             trace.append(r)
             completed += 1
             submitted = max(submitted, r.candidate_id + 1)
+            if r.ok:
+                arch_by_id[r.candidate_id] = tuple(r.arch_seq)
         resumed_records = len(replayed)
     if journal_path is not None:
         journal_obj = TraceJournal(journal_path, name=trace.name,
@@ -276,6 +362,23 @@ def run_search(problem, strategy, num_candidates: int, *,
             parent_id=proposal.parent_id,
             start_time=time.perf_counter() - t0,
         )
+        if backend is not None:
+            # zero-copy path: the provider policy still picks whose
+            # training signal to inherit, but all the worker needs is a
+            # tiny slice descriptor — binding resolves it against the
+            # shared store, no weights ever cross the submit boundary
+            descriptor = None
+            provider = policy.select(proposal, trace.ok_records(), rng)
+            if provider is not None and provider in arch_by_id:
+                record.provider_id = provider
+                descriptor = backend.describe(provider,
+                                              arch_by_id[provider])
+            task = functools.partial(
+                _evaluate_supernet_task, problem, record.arch_seq,
+                seed + candidate_id, backend, descriptor,
+            )
+            dispatch(_Pending(record, task))
+            return
         provider_ref = None
         if transfers:
             provider = policy.select(proposal, trace.ok_records(), rng)
@@ -312,6 +415,8 @@ def run_search(problem, strategy, num_candidates: int, *,
         record.end_time = time.perf_counter() - t0
         record.attempts = pend.attempt
         record_update(record)
+        if record.ok:
+            arch_by_id[record.candidate_id] = record.arch_seq
         if journal_obj is not None:
             journal_obj.append(record)
         strategy.tell(record.candidate_id, record.arch_seq, record.score)
@@ -342,6 +447,7 @@ def run_search(problem, strategy, num_candidates: int, *,
 
     def complete_success(pend: _Pending, result) -> None:
         def apply(record: TraceRecord):
+            nonlocal xfer_copied_bytes, xfer_resliced
             record.ok = result.ok
             record.score = result.score
             record.num_params = result.num_params
@@ -349,6 +455,19 @@ def run_search(problem, strategy, num_candidates: int, *,
             if result.transfer_stats is not None:
                 record.transferred = result.transfer_stats.transferred
                 record.transfer_coverage = result.transfer_stats.coverage
+                xfer_copied_bytes += int(getattr(
+                    result.transfer_stats, "copied_bytes", 0))
+                xfer_resliced += int(getattr(
+                    result.transfer_stats, "resliced_params", 0))
+            if backend is not None:
+                # nothing to checkpoint — the trained slices already
+                # live in the entangled store.  A caller-supplied cache
+                # doubles as a zero-byte registry of the live views.
+                if result.ok and result.weights is not None \
+                        and weight_cache is not None:
+                    weight_cache.put(checkpoint_key(record.candidate_id),
+                                     result.weights, shared=True)
+                return
             if transfers and result.ok and result.weights is not None:
                 key = checkpoint_key(record.candidate_id)
                 meta = {"arch_seq": list(record.arch_seq),
@@ -475,6 +594,19 @@ def run_search(problem, strategy, num_candidates: int, *,
         io_stats["prefetch"] = prefetcher.stats()
     if io_stats:
         trace.io_stats = io_stats
+
+    # -- transfer accounting: which backend moved the training signal
+    # and what it cost.  The supernet's whole claim is visible here:
+    # copied_bytes == 0, resliced_params > 0 -----------------------------
+    if transfers:
+        transfer_stats: dict = {
+            "backend": "supernet" if backend is not None else "checkpoint",
+            "copied_bytes": int(xfer_copied_bytes),
+            "resliced_params": int(xfer_resliced),
+        }
+        if backend is not None:
+            transfer_stats["store"] = backend.stats()
+        trace.transfer_stats = transfer_stats
 
     # -- fault accounting: only attached when something actually went
     # wrong (or chaos was injected / a run was resumed), so clean paper

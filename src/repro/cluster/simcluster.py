@@ -26,7 +26,11 @@ loads weights) an in-memory provider cache whose hits cost
 memcpy (``bytes / memcpy_bandwidth``) blocks the virtual critical path
 while the modelled disk write lands in ``record.io_hidden``.
 ``record.overhead`` stays the total I/O cost in both modes, exactly as
-in the real scheduler.
+in the real scheduler.  ``run(transfer_backend="supernet")`` mirrors the
+zero-copy entangled-store path: no checkpoint is loaded or saved at
+all, and each candidate is charged only ``CostModel.slice_seconds`` of
+view re-binding bookkeeping — the simulated counterpart of the real
+backend's claim that per-transfer blocked I/O collapses to ~0.
 
 Fault model (DESIGN.md "Fault tolerance"): ``run(faults=FaultModel(...))``
 injects the cluster pathologies the paper's 32-GPU campaigns live with,
@@ -94,6 +98,10 @@ class CostModel:
     read_bandwidth: float = 400e6     # bytes/s, store -> candidate
     cache_hit_seconds: float = 1e-4   # in-memory provider cache hit
     memcpy_bandwidth: float = 5e9     # bytes/s, write-behind snapshot copy
+    #: supernet view re-binding: O(tensor count) slice bookkeeping, no
+    #: payload — this replaces *both* load_seconds and save_seconds on
+    #: the zero-copy path, which is the entire speedup claim
+    slice_seconds: float = 1e-4
 
     def train_seconds(self, num_params: int, speed: float = 1.0) -> float:
         return (self.base_seconds + self.seconds_per_param * num_params) / speed
@@ -130,11 +138,20 @@ class SimulatedCluster:
 
     def run(self, strategy, num_candidates: int, *,
             scheme: str = "baseline", provider_policy="parent",
-            seed: int = 0, cache=None, async_io: bool = False,
+            seed: int = 0, transfer_backend="checkpoint",
+            cache=None, async_io: bool = False,
             static_gate=None, zero_cost=None,
             faults: Optional[FaultModel] = None,
             retry: Optional[RetryPolicy] = None) -> Trace:
+        from .scheduler import _resolve_supernet_backend
         transfers = scheme != "baseline"
+        backend = _resolve_supernet_backend(transfer_backend, self.problem,
+                                            scheme, seed)
+        if backend is not None and not transfers:
+            raise ValueError("transfer_backend='supernet' needs a transfer "
+                             "scheme ('lp' or 'lcs')")
+        if transfers and backend is None and self.store is None:
+            raise ValueError(f"scheme {scheme!r} needs a checkpoint store")
         # same gating knobs as run_search; the proxy tier's virtual cost
         # (proxy_seconds per *fresh* score) is charged to the serial
         # dispatcher below, mirroring where the real scheduler pays it
@@ -153,7 +170,11 @@ class SimulatedCluster:
         retry = retry or RetryPolicy(max_attempts=3, base_delay=1.0,
                                      jitter=0.0)
         fault_stats = FaultStats()
-        weight_cache = make_cache(cache) if transfers else None
+        uses_store = transfers and backend is None
+        weight_cache = make_cache(cache) if uses_store else None
+        arch_by_id: dict[int, tuple] = {}
+        xfer_copied_bytes = 0
+        xfer_resliced = 0
         trace = Trace(name=f"{self.problem.name}-{scheme}-g{self.num_gpus}",
                       scheme=scheme)
         # (free_time, gpu_index) — earliest-free GPU gets the next task
@@ -167,6 +188,8 @@ class SimulatedCluster:
                 _, _, record = heapq.heappop(completions)
                 strategy.tell(record.candidate_id, record.arch_seq,
                               record.score)
+                if record.ok:
+                    arch_by_id[record.candidate_id] = record.arch_seq
                 trace.append(record)
 
         for candidate_id in range(num_candidates):
@@ -188,7 +211,16 @@ class SimulatedCluster:
                 start_time=dispatcher_free,
             )
             provider_weights = None
-            if transfers:
+            provider_seq = None
+            if transfers and backend is not None:
+                # zero-copy: no load, no payload — only the slice
+                # bookkeeping of the bind is charged to the virtual clock
+                provider = policy.select(proposal, trace.ok_records(), rng)
+                if provider is not None and provider in arch_by_id:
+                    record.provider_id = provider
+                    provider_seq = arch_by_id[provider]
+                record.add_io_blocked(self.cost.slice_seconds)
+            elif transfers:
                 provider = policy.select(proposal, trace.ok_records(), rng)
                 if provider is not None:
                     key = checkpoint_key(provider)
@@ -215,12 +247,19 @@ class SimulatedCluster:
                                 weight_cache.put(key, provider_weights)
 
             # real training, virtual time
-            result = estimate_candidate(
-                self.problem, record.arch_seq, seed=seed + candidate_id,
-                provider_weights=provider_weights,
-                matcher=scheme if transfers else "lcs",
-                keep_weights=transfers,
-            )
+            if backend is not None:
+                result = estimate_candidate(
+                    self.problem, record.arch_seq,
+                    seed=seed + candidate_id, supernet=backend,
+                    provider_seq=provider_seq, keep_weights=False,
+                )
+            else:
+                result = estimate_candidate(
+                    self.problem, record.arch_seq, seed=seed + candidate_id,
+                    provider_weights=provider_weights,
+                    matcher=scheme if transfers else "lcs",
+                    keep_weights=uses_store,
+                )
             record.ok = result.ok
             record.score = result.score
             record.num_params = result.num_params
@@ -228,6 +267,10 @@ class SimulatedCluster:
             if result.transfer_stats is not None:
                 record.transferred = result.transfer_stats.transferred
                 record.transfer_coverage = result.transfer_stats.coverage
+                xfer_copied_bytes += int(getattr(
+                    result.transfer_stats, "copied_bytes", 0))
+                xfer_resliced += int(getattr(
+                    result.transfer_stats, "resliced_params", 0))
             duration = self.cost.train_seconds(result.num_params,
                                                self.gpu_speeds[gpu])
 
@@ -258,6 +301,17 @@ class SimulatedCluster:
                 record.ok = False
                 record.score = FAILURE_SCORE
                 record.error = "injected: crash (retries exhausted)"
+                if backend is not None and result.ok:
+                    # a crashed candidate must not leave its training in
+                    # the shared store (a failed candidate never produces
+                    # a checkpoint either): scrub its slices back to
+                    # fresh values via a rebuilt model of the same shape
+                    try:
+                        model = self.problem.build_model(
+                            record.arch_seq, rng=seed + candidate_id)
+                        backend.scrub(model)
+                    except Exception:
+                        pass   # unbuildable arch never touched the store
 
             if transfers and record.ok and result.weights is not None:
                 key = checkpoint_key(candidate_id)
@@ -291,6 +345,16 @@ class SimulatedCluster:
             heapq.heappush(gpus, (record.end_time, gpu))
 
         drain(float("inf"))
+        if transfers:
+            transfer_stats: dict = {
+                "backend": "supernet" if backend is not None
+                else "checkpoint",
+                "copied_bytes": int(xfer_copied_bytes),
+                "resliced_params": int(xfer_resliced),
+            }
+            if backend is not None:
+                transfer_stats["store"] = backend.stats()
+            trace.transfer_stats = transfer_stats
         if weight_cache is not None or async_io:
             trace.io_stats = {}
             if weight_cache is not None:

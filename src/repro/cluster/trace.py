@@ -86,6 +86,11 @@ class Trace:
     #: quarantined checkpoints, pool rebuilds, chaos-injection stats)
     #: when any fault was contained or injected; None otherwise
     fault_stats: Optional[dict] = None
+    #: transfer-backend accounting (``backend``, ``copied_bytes``,
+    #: ``resliced_params``, plus the entangled-store summary under
+    #: ``"store"`` for supernet runs) when the search transferred
+    #: weights; None for baseline runs
+    transfer_stats: Optional[dict] = None
 
     def append(self, record: TraceRecord) -> None:
         self.records.append(record)
@@ -145,6 +150,8 @@ class Trace:
                 header["io_stats"] = self.io_stats
             if self.fault_stats is not None:
                 header["fault_stats"] = self.fault_stats
+            if self.transfer_stats is not None:
+                header["transfer_stats"] = self.transfer_stats
             fh.write(json.dumps(header) + "\n")
             for r in self.records:
                 fh.write(json.dumps(asdict(r)) + "\n")
@@ -157,7 +164,8 @@ class Trace:
             trace = cls(name=header["name"], scheme=header["scheme"],
                         static_stats=header.get("static_stats"),
                         io_stats=header.get("io_stats"),
-                        fault_stats=header.get("fault_stats"))
+                        fault_stats=header.get("fault_stats"),
+                        transfer_stats=header.get("transfer_stats"))
             for line in fh:
                 d = json.loads(line)
                 d["arch_seq"] = tuple(d["arch_seq"])

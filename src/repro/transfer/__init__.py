@@ -15,6 +15,12 @@ from .shapeseq import (
     group_layers,
     shape_sequence,
 )
+from .supernet import (
+    BindStats,
+    SliceDescriptor,
+    SuperNet,
+    SupernetTransferBackend,
+)
 from .transfer import TransferStats, transfer_weights
 
 __all__ = [
@@ -24,4 +30,5 @@ __all__ = [
     "TransferStats", "transfer_weights", "partial_transfer_weights",
     "ProviderPolicy", "ParentProvider", "NearestProvider", "RandomProvider",
     "get_policy",
+    "BindStats", "SliceDescriptor", "SuperNet", "SupernetTransferBackend",
 ]

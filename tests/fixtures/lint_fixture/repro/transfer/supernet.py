@@ -1,0 +1,12 @@
+"""Fixture: one R006 violation (.copy() on a superweight view)."""
+
+import numpy as np
+
+
+def bind_region(base, shape):
+    view = base[tuple(slice(0, s) for s in shape)]
+    return view.copy()
+
+
+def reinit_region(view, fresh):
+    np.copyto(view, fresh)  # sanctioned: in-place write into the store

@@ -35,6 +35,7 @@ def test_fixture_triggers_every_rule(fixture_tree):
     ("tensor/optimizers.py", "R003"),
     ("cluster/evaluator.py", "R004"),
     ("uses_reference.py", "R005"),
+    ("transfer/supernet.py", "R006"),
 ])
 def test_each_fixture_file_yields_exactly_its_rule(fixture_tree, rel, code):
     findings = lint_paths([fixture_tree / "repro" / rel])
@@ -43,6 +44,15 @@ def test_each_fixture_file_yields_exactly_its_rule(fixture_tree, rel, code):
 
 def test_suppression_comment_silences_finding(fixture_tree):
     assert lint_paths([fixture_tree / "repro" / "suppressed.py"]) == []
+
+
+def test_r006_suppression(fixture_tree):
+    path = fixture_tree / "repro" / "transfer" / "supernet.py"
+    source = path.read_text().replace(
+        "return view.copy()",
+        "return view.copy()  # lint: ignore[R006]")
+    path.write_text(source)
+    assert lint_paths([path]) == []
 
 
 def test_findings_carry_location_and_message(fixture_tree):

@@ -45,3 +45,15 @@ def test_jsonl_round_trip(tmp_path):
     assert len(loaded) == len(trace)
     for a, b in zip(loaded, trace):
         assert a == b
+
+
+def test_transfer_stats_round_trip(tmp_path):
+    trace = sample_trace()
+    trace.transfer_stats = {"backend": "supernet", "copied_bytes": 0,
+                            "resliced_params": 42,
+                            "store": {"tensors": 7, "grows": 2}}
+    loaded = Trace.load_jsonl(trace.save_jsonl(tmp_path / "t.jsonl"))
+    assert loaded.transfer_stats == trace.transfer_stats
+    # absent on traces that never transferred
+    bare = Trace.load_jsonl(sample_trace().save_jsonl(tmp_path / "b.jsonl"))
+    assert bare.transfer_stats is None

@@ -94,6 +94,29 @@ def test_stats_and_discard_and_clear():
     assert len(cache) == 0 and cache.current_bytes == 0
 
 
+def test_shared_entries_bypass_byte_budget():
+    """Zero-copy supernet views are registered, not charged: a cache too
+    small for even one copied entry still holds any number of shared
+    entries, and their insertion never evicts a real copied checkpoint."""
+    cache = WeightCache(max_bytes=ENTRY_BYTES)
+    cache.put("copied", weights(0))
+    for i in range(5):
+        assert cache.put(f"view{i}", weights(i + 1), shared=True)
+    assert cache.current_bytes == ENTRY_BYTES      # only the copy counts
+    assert len(cache) == 6
+    assert "copied" in cache
+    s = cache.stats()
+    assert s["shared_entries"] == 5
+    # handed-out shared views are frozen like any cache entry; the
+    # underlying store array stays writable
+    src = weights(9)
+    cache.put("v", src, shared=True)
+    got = cache.get("v")
+    assert not got["d.kernel"].flags.writeable
+    assert src["d.kernel"].flags.writeable
+    assert np.shares_memory(got["d.kernel"], src["d.kernel"])
+
+
 def test_thread_safety_under_concurrent_get_put():
     cache = WeightCache(max_bytes=8 * ENTRY_BYTES)
     errors = []
