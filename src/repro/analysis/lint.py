@@ -19,9 +19,12 @@ debugging paid for, now machine-enforced:
            ``np.copy``/fresh-array/``.astype``/``.copy`` calls — all
            updates go through ``out=`` ufuncs and reused scratch
            buffers.
- R004      Shared mutable state in ``repro/cluster`` (attributes named
-           in the module's ``_GUARDED_ATTRS``) may only be written
-           under the module's lock (a ``with ...lock...`` block).
+ R004      A module's ``_GUARDED_ATTRS`` declaration is an *assertion*
+           the whole-program concurrency inference must reproduce: an
+           attribute declared but not inferred lock-guarded, or
+           inferred guarded-and-written but missing from the
+           declaration, is a finding (see
+           :mod:`repro.analysis.concurrency`).
  R005      ``repro.tensor.reference_ops`` may only be imported from
            tests and benchmarks — production code must never fall back
            to the slow frozen kernels.
@@ -31,7 +34,23 @@ debugging paid for, now machine-enforced:
            view silently severs entanglement — writes land in a private
            array instead of shared storage.  In-place ``np.copyto``
            (re-init/scrub *into* the store) is the sanctioned tool.
+ R007      Shared mutable state (inferred: touched by thread-escaping
+           code, accessed under the owning class's lock, or declared
+           in ``_GUARDED_ATTRS``) may only be written while holding
+           that lock — lexically or via entry-lock propagation.
+ R008      The cross-module lock-order graph must stay cycle-free and
+           respect the declared hierarchy
+           (:data:`repro.analysis.lockcheck.LOCK_HIERARCHY`).
+ R009      Zero-copy buffer views (supernet views, shm buffers) must
+           not escape into pickling boundaries (``pickle.dump(s)``,
+           process-pool ``submit``) — the serialized copy severs
+           shared storage.
 ========  ============================================================
+
+Rules R004/R007-R009 come from the whole-program analyzer in
+:mod:`repro.analysis.concurrency`, which runs over every non-test file
+in the linted set at once (guard inference needs the cross-module call
+graph).  R001-R006 remain single-file checks.
 
 Suppression: append ``# lint: ignore[R001]`` (or a comma-separated
 list, or bare ``# lint: ignore``) to the offending line.
@@ -42,11 +61,14 @@ from __future__ import annotations
 import argparse
 import ast
 import hashlib
+import json
 import re
 import sys
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
+
+from . import concurrency
 
 #: SHA-256 pin of the frozen legacy kernels (R002).
 REFERENCE_OPS_SHA256 = (
@@ -59,11 +81,6 @@ _BARE_ALLOCATORS = frozenset({"zeros", "ones", "empty", "full"})
 _STEP_ALLOCATORS = _BARE_ALLOCATORS | {
     "array", "copy", "zeros_like", "ones_like", "empty_like", "full_like",
 }
-#: Method calls that mutate a guarded container (R004).
-_MUTATORS = frozenset({
-    "pop", "popitem", "append", "appendleft", "popleft", "add", "remove",
-    "discard", "clear", "update", "setdefault", "extend", "insert",
-})
 _NUMPY_NAMES = frozenset({"np", "numpy"})
 
 _IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9,\s]+)\])?")
@@ -72,9 +89,12 @@ RULES = {
     "R001": "dtype-unspecified / float64-promoting NumPy allocation",
     "R002": "frozen reference_ops.py content drifted from its pin",
     "R003": "allocation inside an optimizer step body",
-    "R004": "guarded shared state written outside the module lock",
+    "R004": "_GUARDED_ATTRS declaration disagrees with the inference",
     "R005": "reference_ops imported outside tests/benchmarks",
     "R006": "superweight view copied in the supernet transfer path",
+    "R007": "shared mutable state written outside the owning lock (inferred)",
+    "R008": "lock-order cycle or lock-hierarchy violation",
+    "R009": "zero-copy buffer view escapes into a pickling boundary",
 }
 
 
@@ -113,25 +133,6 @@ def _is_literal_payload(node: ast.AST) -> bool:
     existing ndarray preserves its dtype and is fine."""
     return isinstance(node, (ast.List, ast.Tuple, ast.Constant,
                              ast.ListComp, ast.GeneratorExp))
-
-
-def _mentions_lock(node: ast.AST) -> bool:
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Name) and "lock" in sub.id.lower():
-            return True
-        if isinstance(sub, ast.Attribute) and "lock" in sub.attr.lower():
-            return True
-    return False
-
-
-def _self_attr(node: ast.AST) -> Optional[str]:
-    """The ``X`` of a ``self.X`` or ``self.X[...]`` target."""
-    if isinstance(node, ast.Subscript):
-        node = node.value
-    if (isinstance(node, ast.Attribute)
-            and isinstance(node.value, ast.Name) and node.value.id == "self"):
-        return node.attr
-    return None
 
 
 # ----------------------------------------------------------------------
@@ -207,70 +208,6 @@ class _R003Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-class _R004Visitor(ast.NodeVisitor):
-    """Writes to guarded ``self.<attr>`` outside a ``with ...lock`` block."""
-
-    def __init__(self, guarded: frozenset):
-        self.guarded = guarded
-        self.findings: list[tuple[int, int, str]] = []
-        self._lock_depth = 0
-        self._func_stack: list[str] = []
-
-    def _visit_func(self, node) -> None:
-        self._func_stack.append(node.name)
-        self.generic_visit(node)
-        self._func_stack.pop()
-
-    visit_FunctionDef = _visit_func
-    visit_AsyncFunctionDef = _visit_func
-
-    def visit_With(self, node: ast.With) -> None:
-        locked = any(_mentions_lock(item.context_expr) for item in node.items)
-        self._lock_depth += locked
-        self.generic_visit(node)
-        self._lock_depth -= locked
-
-    def _check_target(self, target: ast.AST, verb: str) -> None:
-        attr = _self_attr(target)
-        if (attr in self.guarded and self._lock_depth == 0
-                and "__init__" not in self._func_stack):
-            self.findings.append((
-                target.lineno, target.col_offset,
-                f"self.{attr} {verb} outside the module lock "
-                f"(guarded by _GUARDED_ATTRS)"))
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for target in node.targets:
-            self._check_target(target, "assigned")
-        self.generic_visit(node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._check_target(node.target, "updated")
-        self.generic_visit(node)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if node.value is not None:
-            self._check_target(node.target, "assigned")
-        self.generic_visit(node)
-
-    def visit_Delete(self, node: ast.Delete) -> None:
-        for target in node.targets:
-            self._check_target(target, "deleted")
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
-            attr = _self_attr(func.value)
-            if (attr in self.guarded and self._lock_depth == 0
-                    and "__init__" not in self._func_stack):
-                self.findings.append((
-                    node.lineno, node.col_offset,
-                    f"self.{attr}.{func.attr}() mutates guarded state "
-                    f"outside the module lock"))
-        self.generic_visit(node)
-
-
 class _R006Visitor(ast.NodeVisitor):
     """``np.copy(...)`` and ``<expr>.copy()`` calls — both materialise a
     private array where the supernet path must hand out live views."""
@@ -336,27 +273,20 @@ def _suppressed_lines(source: str) -> dict[int, Optional[frozenset]]:
     return out
 
 
-def _guarded_attrs(tree: ast.Module) -> frozenset:
-    """Top-level ``_GUARDED_ATTRS = ("a", "b")`` declaration, if any."""
-    for node in tree.body:
-        if not isinstance(node, ast.Assign):
-            continue
-        for target in node.targets:
-            if isinstance(target, ast.Name) and target.id == "_GUARDED_ATTRS":
-                try:
-                    value = ast.literal_eval(node.value)
-                except ValueError:
-                    return frozenset()
-                return frozenset(str(v) for v in value)
-    return frozenset()
+def _is_test_path(path: Path) -> bool:
+    posix = path.as_posix()
+    return ("/tests/" in posix or "/benchmarks/" in posix
+            or path.name.startswith("test_")
+            or path.name == "conftest.py")
 
 
 def lint_file(path: Path) -> list[Finding]:
-    """All findings for one Python file (suppressions already applied)."""
+    """Single-file findings (R001-R003, R005-R006), suppressions applied.
+
+    The whole-program rules (R004, R007-R009) are added by
+    :func:`lint_paths`, which sees the full file set at once."""
     posix = path.as_posix()
-    in_tests = ("/tests/" in posix or "/benchmarks/" in posix
-                or path.name.startswith("test_")
-                or path.name == "conftest.py")
+    in_tests = _is_test_path(path)
     in_tensor = "repro/tensor/" in posix
     is_reference = in_tensor and path.name == "reference_ops.py"
 
@@ -391,14 +321,6 @@ def lint_file(path: Path) -> list[Finding]:
         r003.visit(tree)
         raw.extend(("R003", *f) for f in r003.findings)
 
-    if "repro/cluster/" in posix and path.name in (
-            "scheduler.py", "evaluator.py"):
-        guarded = _guarded_attrs(tree)
-        if guarded:
-            r004 = _R004Visitor(guarded)
-            r004.visit(tree)
-            raw.extend(("R004", *f) for f in r004.findings)
-
     if not in_tests:
         r005 = _R005Visitor()
         r005.visit(tree)
@@ -419,6 +341,33 @@ def lint_file(path: Path) -> list[Finding]:
     return findings
 
 
+def _concurrency_findings(files: Sequence) -> list[Finding]:
+    """R004/R007-R009 from the whole-program concurrency analyzer, run
+    over every parseable non-test file in the linted set."""
+    sources: dict[str, str] = {}
+    for f in files:
+        if _is_test_path(f):
+            continue
+        try:
+            source = f.read_text()
+            ast.parse(source, filename=str(f))
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue                    # lint_file already reports R000
+        sources[f.as_posix()] = source
+    if not sources:
+        return []
+    model = concurrency.analyze_sources(sources)
+    suppressed = {path: _suppressed_lines(src)
+                  for path, src in sources.items()}
+    out: list[Finding] = []
+    for af in model.findings():
+        codes = suppressed.get(af.path, {}).get(af.line, frozenset())
+        if codes is None or af.code in codes:
+            continue
+        out.append(Finding(af.path, af.line, af.col, af.code, af.message))
+    return out
+
+
 def lint_paths(paths: Sequence) -> list[Finding]:
     """Lint files and directory trees; returns sorted findings."""
     files: list[Path] = []
@@ -431,17 +380,23 @@ def lint_paths(paths: Sequence) -> list[Finding]:
     findings: list[Finding] = []
     for f in files:
         findings.extend(lint_file(f))
+    findings.extend(_concurrency_findings(files))
     return sorted(findings, key=lambda f: (f.path, f.line, f.col))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repository invariant linter (rules R001-R006).",
+        description="Repository invariant linter (rules R001-R009).",
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="output format: human-readable lines "
+                             "(default) or a JSON array of "
+                             "{path,line,col,code,message} records")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
     args = parser.parse_args(argv)
@@ -452,8 +407,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     findings = lint_paths(args.paths)
-    for finding in findings:
-        print(finding)
+    if args.fmt == "json":
+        print(json.dumps([asdict(f) for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding)
     if findings:
         print(f"{len(findings)} finding(s)", file=sys.stderr)
         return 1

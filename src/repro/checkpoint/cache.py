@@ -24,16 +24,23 @@ still sees the true I/O cost, just split into blocked vs hidden.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from ..analysis.lockcheck import make_lock
+
 #: Default byte budget: generous for the scaled-down reproduction
 #: (checkpoints are O(100 KB)); real deployments size this to node RAM.
 DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Lock-discipline assertion (lint R004/R007): every write to these
+#: attributes must hold ``self._lock``; the whole-program analyzer
+#: verifies the set matches what it infers from the AST.
+_GUARDED_ATTRS = ("_entries", "_nbytes", "hits", "misses", "evictions",
+                  "insertions", "oversize_rejects")
 
 
 def weights_nbytes(weights: dict) -> int:
@@ -59,7 +66,7 @@ class WeightCache:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = int(max_bytes)
-        self._lock = threading.Lock()
+        self._lock = make_lock("WeightCache._lock")
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._nbytes = 0
         self.hits = 0

@@ -33,14 +33,22 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.lockcheck import make_lock
 from .store import CheckpointInfo, CheckpointStore
+
+#: Lock-discipline assertion (lint R004/R007): state shared between the
+#: saving thread(s) and the background drain worker.  Every write must
+#: hold ``self._lock``; the whole-program analyzer verifies the set
+#: matches what it infers.
+_GUARDED_ATTRS = ("_results", "_durations", "_errors", "_error_log",
+                  "_pending", "_closed")
 
 
 class AsyncCheckpointWriter:
     def __init__(self, store: CheckpointStore, max_queue: int = 64):
         self.store = store
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
-        self._lock = threading.Lock()
+        self._lock = make_lock("AsyncCheckpointWriter._lock")
         self._errors: list[Exception] = []
         self._error_log: list[tuple[str, str]] = []   # (key, repr) — kept
         self._results: dict[str, CheckpointInfo] = {}
@@ -128,9 +136,10 @@ class AsyncCheckpointWriter:
     def close(self) -> None:
         """Flush then stop the worker.  The worker is always stopped,
         even when flush re-raises a captured write error."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         try:
             self.flush()
         finally:

@@ -25,16 +25,17 @@ from __future__ import annotations
 
 import concurrent.futures as cf
 import queue
-import threading
 from collections import deque
 from typing import Callable, Optional
 
+from ..analysis.lockcheck import make_lock
 from .resilience import TaskFailure, WaitTimeout
 
-#: Attributes the R004 lint rule holds to the lock discipline: shared
-#: mutable state that both the submitting thread and any thread calling
-#: ``wait_any`` touch.  Every write must happen under ``self._lock``.
-_GUARDED_ATTRS = ("_futures",)
+#: Lock-discipline assertion (lint R004/R007): shared mutable state that
+#: both the submitting thread and any thread calling ``wait_any`` touch.
+#: Every write must happen under ``self._lock``; the whole-program
+#: analyzer verifies this set matches what it infers from the AST.
+_GUARDED_ATTRS = ("_futures", "_next", "_pool", "pool_rebuilds")
 
 
 class SerialEvaluator:
@@ -100,17 +101,22 @@ class _PoolEvaluator:
         self._done: queue.SimpleQueue[cf.Future] = queue.SimpleQueue()
         self._next = 0
         self.pool_rebuilds = 0
-        # guards _futures: several scheduler threads may submit/drain the
-        # same evaluator concurrently (see _GUARDED_ATTRS / lint R004)
-        self._lock = threading.Lock()
+        # guards _futures, the ticket counter and the pool handle:
+        # several scheduler threads may submit/drain the same evaluator
+        # concurrently (see _GUARDED_ATTRS / lint R004, R007)
+        self._lock = make_lock("_PoolEvaluator._lock")
 
     def submit(self, task: Callable[[], object]) -> int:
-        ticket = self._next
-        self._next += 1
-        fut = self._pool.submit(task)
-        # register before wiring the callback so a task that finishes
-        # instantly still finds its ticket in wait_any
+        # ticket allocation, pool dispatch and registration are one
+        # atomic step: an unlocked `self._next += 1` hands two
+        # concurrent submitters the same ticket, and dispatching on an
+        # unlocked pool handle races _rebuild's swap.  Registering
+        # before wiring the callback keeps the instant-finish case
+        # visible to wait_any.
         with self._lock:
+            ticket = self._next
+            self._next += 1
+            fut = self._pool.submit(task)
             self._futures[fut] = ticket
         fut.add_done_callback(self._done.put)
         return ticket
@@ -163,9 +169,10 @@ class _PoolEvaluator:
 
     def _rebuild(self) -> None:
         """Replace a broken executor with a fresh one in place."""
-        old = self._pool
-        self._pool = self._executor_cls(max_workers=self.num_workers)
-        self.pool_rebuilds += 1
+        with self._lock:
+            old = self._pool
+            self._pool = self._executor_cls(max_workers=self.num_workers)
+            self.pool_rebuilds += 1
         try:
             old.shutdown(wait=False)
         except Exception:

@@ -27,15 +27,23 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
+from ..analysis.lockcheck import make_lock
+
 #: index entry: (tensor name, dtype.str, shape tuple, byte offset)
 IndexEntry = Tuple[str, str, tuple, int]
+
+#: Lock-discipline assertion (lint R004/R007): publish bookkeeping is
+#: guarded by ``self._lock`` (shared by subclasses), the worker-side
+#: attach LRU by the module-level ``_attach_lock``.  The whole-program
+#: analyzer verifies this set matches what it infers from the AST.
+_GUARDED_ATTRS = ("_published", "publishes", "reuses", "published_bytes",
+                  "_segments", "_attach_cache")
 
 
 @dataclass(frozen=True)
@@ -78,7 +86,7 @@ class _BaseTransport:
     kind = "base"
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = make_lock("_BaseTransport._lock")
         self._published: dict[str, WeightHandle] = {}
         self.publishes = 0
         self.reuses = 0
@@ -253,7 +261,7 @@ def make_transport(transport, store=None):
 #: per-process LRU of attached segments: handle.name -> (weights, closer)
 _ATTACH_CACHE_MAX = 8
 _attach_cache: "OrderedDict[str, tuple]" = OrderedDict()
-_attach_lock = threading.Lock()
+_attach_lock = make_lock("transport._attach_lock")
 
 
 def _attach(handle: WeightHandle) -> tuple:

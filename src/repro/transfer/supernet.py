@@ -43,12 +43,12 @@ and the updates could never write back.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from ..analysis.lockcheck import make_lock
 from ..tensor.initializers import get_initializer
 from .matching import MATCHERS, get_matcher
 from .shapeseq import arch_shape_sequence
@@ -56,6 +56,15 @@ from .transfer import _cached_match
 
 __all__ = ["BindStats", "SliceDescriptor", "SuperNet",
            "SupernetTransferBackend"]
+
+#: Lock-discipline assertion (lint R004/R007): all store mutation and
+#: bind/grow/scrub accounting happens under ``SuperNet._lock`` — either
+#: lexically or in helpers (``_ensure``) only ever called with the lock
+#: held (the analyzer's entry-lock propagation proves that).  Training
+#: *through* bound views is deliberately lock-free hogwild and out of
+#: scope here.
+_GUARDED_ATTRS = ("_store", "allocations", "grows", "binds", "scrubs",
+                  "reinit_elements", "scrubbed_elements")
 
 
 @dataclass
@@ -119,7 +128,7 @@ class SuperNet:
     def __init__(self, space, seed: int = 0):
         self.space = space
         self.seed = seed
-        self._lock = threading.RLock()
+        self._lock = make_lock("SuperNet._lock", reentrant=True)
         self._store: dict[str, np.ndarray] = {}
         # dedicated stream: store initialisation never perturbs the
         # scheduler's provider-selection rng

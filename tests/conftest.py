@@ -1,5 +1,7 @@
 """Shared fixtures: a tiny search space + problem that trains in ~10 ms."""
 
+import os
+
 import pytest
 
 from repro.apps import make_image_dataset
@@ -26,6 +28,30 @@ def build_tiny_space() -> SearchSpace:
     space.add_variable("dense1", [IdentityOp(), DenseOp(8, "relu")])
     space.add_fixed(DenseOp(4), name="head")
     return space
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lockcheck_report():
+    """When the suite runs under ``REPRO_LOCKCHECK=1``, every lock built
+    by ``make_lock`` is a :class:`SanitizedLock` wired into the global
+    registry.  At session teardown, dump the machine-readable report
+    (``REPRO_LOCKCHECK_REPORT=<path>``, default ``lockcheck_report.json``
+    in the CWD) and fail the session on any recorded lock-order
+    inversion or hierarchy violation.  Tests that *provoke* violations
+    on purpose use private registries, so the global one stays clean.
+    """
+    from repro.analysis import lockcheck
+
+    yield
+    if not lockcheck.enabled():
+        return
+    report_path = os.environ.get("REPRO_LOCKCHECK_REPORT",
+                                 "lockcheck_report.json")
+    lockcheck.registry.dump(report_path)
+    violations = lockcheck.registry.violations()
+    assert violations == [], (
+        f"lock sanitizer recorded {len(violations)} violation(s) — "
+        f"see {report_path}")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,15 @@
+"""Fixture: one R009 violation (zero-copy view pickled).
+
+The ``np.frombuffer`` view aliases the caller's buffer (a shared-memory
+segment or the supernet store); pickling it ships a private copy whose
+writes never reach the shared storage.
+"""
+
+import pickle
+
+import numpy as np
+
+
+def ship(buf):
+    view = np.frombuffer(buf, dtype=np.uint8)
+    return pickle.dumps(view)

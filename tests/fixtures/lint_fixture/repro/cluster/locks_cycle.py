@@ -1,0 +1,24 @@
+"""Fixture: one R008 violation (AB/BA lock-order cycle).
+
+``forward`` nests alpha -> beta, ``backward`` nests beta -> alpha: two
+threads running them concurrently can each hold one lock while blocking
+on the other — the classic deadlock the lock-order graph must flag.
+"""
+
+import threading
+
+_alpha_lock = threading.Lock()
+_beta_lock = threading.Lock()
+shared_log: list = []
+
+
+def forward(item):
+    with _alpha_lock:
+        with _beta_lock:
+            shared_log.append(item)
+
+
+def backward(item):
+    with _beta_lock:
+        with _alpha_lock:
+            shared_log.append(item)

@@ -3,6 +3,7 @@
 Fixtures are copied to a tmp dir before linting because rule scoping is
 path-based — under ``tests/`` the linter deliberately relaxes R005."""
 
+import json
 import os
 import shutil
 import subprocess
@@ -29,17 +30,22 @@ def test_fixture_triggers_every_rule(fixture_tree):
     assert {f.code for f in findings} == set(RULES)
 
 
-@pytest.mark.parametrize("rel, code", [
-    ("bad_alloc.py", "R001"),
-    ("tensor/reference_ops.py", "R002"),
-    ("tensor/optimizers.py", "R003"),
-    ("cluster/evaluator.py", "R004"),
-    ("uses_reference.py", "R005"),
-    ("transfer/supernet.py", "R006"),
+@pytest.mark.parametrize("rel, codes", [
+    ("bad_alloc.py", {"R001"}),
+    ("tensor/reference_ops.py", {"R002"}),
+    ("tensor/optimizers.py", {"R003"}),
+    # the stale declaration is both an assertion mismatch (R004) and a
+    # genuine unguarded shared write (R007)
+    ("cluster/evaluator.py", {"R004", "R007"}),
+    ("uses_reference.py", {"R005"}),
+    ("transfer/supernet.py", {"R006"}),
+    ("cluster/racy.py", {"R007"}),
+    ("cluster/locks_cycle.py", {"R008"}),
+    ("bad_pickle.py", {"R009"}),
 ])
-def test_each_fixture_file_yields_exactly_its_rule(fixture_tree, rel, code):
+def test_each_fixture_file_yields_exactly_its_rules(fixture_tree, rel, codes):
     findings = lint_paths([fixture_tree / "repro" / rel])
-    assert [f.code for f in findings] == [code]
+    assert {f.code for f in findings} == codes
 
 
 def test_suppression_comment_silences_finding(fixture_tree):
@@ -66,6 +72,24 @@ def test_main_exit_codes(fixture_tree, capsys):
     assert main([str(fixture_tree)]) == 1
     assert "R002" in capsys.readouterr().out
     assert main([str(fixture_tree / "repro" / "suppressed.py")]) == 0
+
+
+def test_format_json(fixture_tree, capsys):
+    assert main(["--format", "json",
+                 str(fixture_tree / "repro" / "bad_alloc.py")]) == 1
+    records = json.loads(capsys.readouterr().out)
+    assert records == [{
+        "path": (fixture_tree / "repro" / "bad_alloc.py").as_posix(),
+        "line": 7, "col": 11, "code": "R001",
+        "message": records[0]["message"],
+    }]
+    assert "dtype" in records[0]["message"]
+
+
+def test_format_json_empty_is_valid(fixture_tree, capsys):
+    assert main(["--format", "json",
+                 str(fixture_tree / "repro" / "suppressed.py")]) == 0
+    assert json.loads(capsys.readouterr().out) == []
 
 
 def test_list_rules(capsys):
