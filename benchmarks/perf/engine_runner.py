@@ -1,0 +1,177 @@
+"""Emit ``BENCH_engine.json``: compiled StepPlan engine vs eager.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/engine_runner.py            # full rounds
+    PYTHONPATH=src python benchmarks/perf/engine_runner.py --quick    # CI smoke tier
+    PYTHONPATH=src python benchmarks/perf/engine_runner.py --quick --check BENCH_engine.json
+
+``--check`` gates two things against a committed baseline:
+
+- **perf drift**: freshly measured plan-path timings must stay within
+  ``REGRESSION_FACTOR``x of the baseline (same loose factor as the
+  kernel gate — shared CI runners are noisy);
+- **invariants**: the *current* run must report zero steady-state
+  allocations in every compiled step body and bit-identical e2e search
+  scores.  These are correctness properties, not timings, so they are
+  checked absolutely — never against the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+if __package__ in (None, ""):        # `python benchmarks/perf/engine_runner.py`
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+
+import numpy as np
+
+from benchmarks.perf import engine_cases, timing
+
+#: CI gate: fail when a plan-path median exceeds baseline by this factor.
+REGRESSION_FACTOR = 2.0
+
+_STEP_KEY = "plan_step_ms"
+_E2E_KEY = "plan_ms"
+
+
+def collect(quick: bool = False) -> dict:
+    rounds = timing.QUICK_ROUNDS if quick else timing.ROUNDS
+    warmup = 1 if quick else timing.WARMUP_ROUNDS
+    e2e_rounds = max(2, rounds // 3)
+    e2e_candidates = 3 if quick else 6
+
+    rss_before = timing.ru_maxrss_kb()
+    per_step = {}
+    for app in engine_cases.STEP_CASE_SEQS:
+        print(f"  step: {app} ...", flush=True)
+        per_step[app] = engine_cases.step_case(app, rounds, warmup)
+    print("  e2e: run_search eager vs plan ...", flush=True)
+    e2e = engine_cases.e2e_search_case(e2e_rounds, warmup,
+                                       num_candidates=e2e_candidates)
+    sharing = engine_cases.signature_sharing_case()
+
+    return {
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "mode": "quick" if quick else "full",
+            "rounds": rounds,
+            "warmup": warmup,
+            "seed": engine_cases.SEED,
+        },
+        "per_step": per_step,
+        "e2e": {"cifar10_search": e2e},
+        "plan_sharing": sharing,
+        "ru_maxrss_kb": {"before": rss_before,
+                         "after": timing.ru_maxrss_kb()},
+    }
+
+
+def check_invariants(current: dict) -> int:
+    """Absolute correctness gates on the *current* measurement."""
+    failures = 0
+    for app, row in current["per_step"].items():
+        ok = (row["plan_allocs_per_step"] == 0
+              and row["plan_alloc_bytes_per_step"] == 0)
+        if not ok:
+            failures += 1
+        print(f"  invariant {app}: steady-state allocs "
+              f"{row['plan_allocs_per_step']} "
+              f"({row['plan_alloc_bytes_per_step']}B) -> "
+              f"{'ok' if ok else 'NONZERO'}")
+    e2e = current["e2e"]["cifar10_search"]
+    ok = e2e["scores_bit_identical"]
+    if not ok:
+        failures += 1
+    print(f"  invariant e2e: plan scores bit-identical to eager -> "
+          f"{'ok' if ok else 'DIVERGED'}")
+    ok = current["plan_sharing"]["signatures_equal"]
+    if not ok:
+        failures += 1
+    print(f"  invariant sharing: same-arch models share a signature -> "
+          f"{'ok' if ok else 'BROKEN'}")
+    return failures
+
+
+def check(current: dict, baseline_path: str) -> int:
+    """Return the number of cases that regressed or broke an invariant."""
+    failures = check_invariants(current)
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    for app, row in current["per_step"].items():
+        base = baseline.get("per_step", {}).get(app)
+        if not base or _STEP_KEY not in base:
+            continue
+        limit = base[_STEP_KEY] * REGRESSION_FACTOR
+        status = "ok"
+        if row[_STEP_KEY] > limit:
+            failures += 1
+            status = "REGRESSED"
+        print(f"  check {app}: {row[_STEP_KEY]:.3f}ms vs baseline "
+              f"{base[_STEP_KEY]:.3f}ms (limit {limit:.3f}ms) -> {status}")
+    base_e2e = baseline.get("e2e", {}).get("cifar10_search")
+    cur_e2e = current["e2e"]["cifar10_search"]
+    if base_e2e and _E2E_KEY in base_e2e:
+        limit = base_e2e[_E2E_KEY] * REGRESSION_FACTOR
+        status = "ok"
+        if cur_e2e[_E2E_KEY] > limit:
+            failures += 1
+            status = "REGRESSED"
+        print(f"  check e2e: {cur_e2e[_E2E_KEY]:.1f}ms vs baseline "
+              f"{base_e2e[_E2E_KEY]:.1f}ms (limit {limit:.1f}ms) "
+              f"-> {status}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI tier: fewer rounds, 1 warmup, 3-candidate "
+                             "e2e search")
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output path (default: BENCH_engine.json)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a committed baseline JSON and "
+                             f"fail on >{REGRESSION_FACTOR}x regression or "
+                             "any invariant break")
+    args = parser.parse_args(argv)
+
+    print(f"collecting ({'quick' if args.quick else 'full'} mode) ...")
+    results = collect(quick=args.quick)
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    for app, row in results["per_step"].items():
+        print(f"{app} step: {row['eager_step_ms']:.2f}ms eager -> "
+              f"{row['plan_step_ms']:.2f}ms plan "
+              f"({row['speedup']:.2f}x), "
+              f"{row['plan_allocs_per_step']} allocs/step")
+    e2e = results["e2e"]["cifar10_search"]
+    print(f"e2e search: {e2e['eager_ms']:.0f}ms eager -> "
+          f"{e2e['plan_ms']:.0f}ms plan ({e2e['speedup']:.2f}x), "
+          f"bit-identical={e2e['scores_bit_identical']}")
+
+    if args.check:
+        print(f"checking against {args.check} ...")
+        failures = check(results, args.check)
+        if failures:
+            print(f"FAIL: {failures} case(s) regressed "
+                  f">{REGRESSION_FACTOR}x or broke an invariant")
+            return 1
+        print("engine check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,3 +57,51 @@ def peak_traced_bytes(fn) -> int:
 def ru_maxrss_kb() -> int:
     """Process high-water RSS in KiB (Linux ru_maxrss unit)."""
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def steady_state_allocs(step, *, steps: int = 5) -> dict:
+    """Tracemalloc allocation accounting for a steady-state ``step()``.
+
+    Calls ``step()`` once under tracing to warm every lazy path, then
+    snapshots, runs ``steps`` more calls and reports, per step:
+
+    - ``allocs_per_step`` / ``alloc_bytes_per_step`` — *net retained*
+      allocations (snapshot diff).  The compiled engine's zero-heap
+      claim: it must be exactly 0.
+    - ``transient_peak_bytes`` — the tracemalloc peak *during* one warm
+      step, i.e. how much a step allocates-and-frees.  The eager
+      interpreter churns every activation here; a compiled step is a
+      few hundred bytes of Python-object noise.
+
+    Measure in a separate pass from timing (tracing slows allocation).
+    """
+    gc.collect()
+    tracemalloc.start()
+    try:
+        step()
+        gc.collect()
+        before = tracemalloc.take_snapshot()
+        for _ in range(steps):
+            step()
+        gc.collect()
+        after = tracemalloc.take_snapshot()
+        tracemalloc.reset_peak()
+        base, _ = tracemalloc.get_traced_memory()
+        step()
+        transient_peak = max(0, tracemalloc.get_traced_memory()[1] - base)
+    finally:
+        tracemalloc.stop()
+    # tracemalloc's own snapshot bookkeeping shows up as +2 blocks per
+    # snapshot; exclude it so a genuinely allocation-free step reads 0
+    own = (tracemalloc.Filter(False, tracemalloc.__file__),)
+    before = before.filter_traces(own)
+    after = after.filter_traces(own)
+    count = size = 0
+    for stat in after.compare_to(before, "filename"):
+        count += stat.count_diff
+        size += stat.size_diff
+    return {
+        "allocs_per_step": max(0, count) // steps,
+        "alloc_bytes_per_step": max(0, size) // steps,
+        "transient_peak_bytes": int(transient_peak),
+    }

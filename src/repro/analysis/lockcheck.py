@@ -74,6 +74,7 @@ __all__ = [
 LOCK_HIERARCHY: dict[str, int] = {
     "ProviderPrefetcher._lock": 10,
     "_PoolEvaluator._lock": 20,
+    "PlanCache._lock": 25,
     "SuperNet._lock": 30,
     "WeightCache._lock": 40,
     "AsyncCheckpointWriter._lock": 50,

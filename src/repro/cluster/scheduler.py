@@ -103,7 +103,7 @@ class _Pending:
 
 
 def _evaluate_task(problem, arch_seq, seed, provider_ref, matcher,
-                   keep_weights):
+                   keep_weights, engine="eager"):
     """Module-level so ProcessPoolEvaluator can pickle it.
 
     ``provider_ref`` is either the provider weights themselves or a
@@ -112,11 +112,12 @@ def _evaluate_task(problem, arch_seq, seed, provider_ref, matcher,
     provider_weights = resolve_provider_ref(provider_ref)
     return estimate_candidate(
         problem, arch_seq, seed=seed, provider_weights=provider_weights,
-        matcher=matcher, keep_weights=keep_weights,
+        matcher=matcher, keep_weights=keep_weights, engine=engine,
     )
 
 
-def _evaluate_supernet_task(problem, arch_seq, seed, backend, descriptor):
+def _evaluate_supernet_task(problem, arch_seq, seed, backend, descriptor,
+                            engine="eager"):
     """The zero-copy counterpart of :func:`_evaluate_task`: instead of a
     weight payload the worker receives a tiny
     :class:`~repro.transfer.SliceDescriptor` and resolves it by binding
@@ -128,7 +129,7 @@ def _evaluate_supernet_task(problem, arch_seq, seed, backend, descriptor):
         descriptor.provider_arch_seq
     return estimate_candidate(
         problem, arch_seq, seed=seed, supernet=backend,
-        provider_seq=provider_seq, keep_weights=True,
+        provider_seq=provider_seq, keep_weights=True, engine=engine,
     )
 
 
@@ -167,7 +168,8 @@ def run_search(problem, strategy, num_candidates: int, *,
                cache=None, prefetch: bool = False, async_io=False,
                transport=None, retry: Optional[RetryPolicy] = None,
                task_timeout: Optional[float] = None,
-               journal=None, resume=None) -> Trace:
+               journal=None, resume=None,
+               engine: str = "eager") -> Trace:
     """Run one NAS estimation phase; returns the completed :class:`Trace`.
 
     ``static_gate`` enables pre-flight static screening: pass ``True``
@@ -222,9 +224,20 @@ def run_search(problem, strategy, num_candidates: int, *,
     (``RetryPolicy(max_attempts=1)`` ≡ no retries, the default).
     ``resume`` replays a :class:`TraceJournal` written by ``journal=``
     (passing only ``resume=`` keeps journaling to the same path).
+
+    ``engine`` selects the training-step executor for every evaluation:
+    ``"eager"`` (the default interpreter) or ``"plan"`` — compiled
+    :class:`repro.tensor.engine.StepPlan` schedules checked out of the
+    per-process :class:`~repro.tensor.engine.PlanCache`, bit-identical
+    scores and traces, substantially faster steps.  Plan-cache counters
+    land in ``trace.engine_stats`` (for a process pool only the engine
+    name is recorded — worker caches are per-process).
     """
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}, expected {SCHEMES}")
+    if engine not in ("eager", "plan"):
+        raise ValueError(f"unknown engine {engine!r}, expected "
+                         f"'eager' or 'plan'")
     transfers = scheme != "baseline"
     backend = _resolve_supernet_backend(transfer_backend, problem, scheme,
                                         seed)
@@ -375,7 +388,7 @@ def run_search(problem, strategy, num_candidates: int, *,
                                               arch_by_id[provider])
             task = functools.partial(
                 _evaluate_supernet_task, problem, record.arch_seq,
-                seed + candidate_id, backend, descriptor,
+                seed + candidate_id, backend, descriptor, engine,
             )
             dispatch(_Pending(record, task))
             return
@@ -395,7 +408,7 @@ def run_search(problem, strategy, num_candidates: int, *,
                         provider_ref = weights
         task = functools.partial(
             _evaluate_task, problem, record.arch_seq, seed + candidate_id,
-            provider_ref, scheme if transfers else "lcs", transfers,
+            provider_ref, scheme if transfers else "lcs", transfers, engine,
         )
         dispatch(_Pending(record, task))
 
@@ -620,6 +633,13 @@ def run_search(problem, strategy, num_candidates: int, *,
     if (fault_stats.total_faults or fault_stats.pool_rebuilds
             or resumed_records or "chaos" in fault_dict):
         trace.fault_stats = fault_dict
+
+    if engine == "plan":
+        from ..tensor.engine import get_plan_cache
+        engine_stats: dict = {"engine": engine}
+        if not _uses_process_pool(evaluator):
+            engine_stats.update(get_plan_cache().stats())
+        trace.engine_stats = engine_stats
 
     gate = getattr(strategy, "gate", None)
     if gate is not None:

@@ -102,6 +102,10 @@ class CostModel:
     #: payload — this replaces *both* load_seconds and save_seconds on
     #: the zero-copy path, which is the entire speedup claim
     slice_seconds: float = 1e-4
+    #: compiling one StepPlan (engine="plan"): charged once per *fresh*
+    #: structural signature — candidates that re-use a cached plan pay
+    #: nothing, mirroring the real PlanCache
+    plan_trace_seconds: float = 2.0
 
     def train_seconds(self, num_params: int, speed: float = 1.0) -> float:
         return (self.base_seconds + self.seconds_per_param * num_params) / speed
@@ -142,8 +146,12 @@ class SimulatedCluster:
             cache=None, async_io: bool = False,
             static_gate=None, zero_cost=None,
             faults: Optional[FaultModel] = None,
-            retry: Optional[RetryPolicy] = None) -> Trace:
+            retry: Optional[RetryPolicy] = None,
+            engine: str = "eager") -> Trace:
         from .scheduler import _resolve_supernet_backend
+        if engine not in ("eager", "plan"):
+            raise ValueError(f"unknown engine {engine!r}, expected "
+                             f"'eager' or 'plan'")
         transfers = scheme != "baseline"
         backend = _resolve_supernet_backend(transfer_backend, self.problem,
                                             scheme, seed)
@@ -173,6 +181,7 @@ class SimulatedCluster:
         uses_store = transfers and backend is None
         weight_cache = make_cache(cache) if uses_store else None
         arch_by_id: dict[int, tuple] = {}
+        plan_sigs: set = set()     # structural signatures already traced
         xfer_copied_bytes = 0
         xfer_resliced = 0
         trace = Trace(name=f"{self.problem.name}-{scheme}-g{self.num_gpus}",
@@ -252,6 +261,7 @@ class SimulatedCluster:
                     self.problem, record.arch_seq,
                     seed=seed + candidate_id, supernet=backend,
                     provider_seq=provider_seq, keep_weights=False,
+                    engine=engine,
                 )
             else:
                 result = estimate_candidate(
@@ -259,7 +269,21 @@ class SimulatedCluster:
                     provider_weights=provider_weights,
                     matcher=scheme if transfers else "lcs",
                     keep_weights=uses_store,
+                    engine=engine,
                 )
+            plan_overhead = 0.0
+            if engine == "plan" and result.ok:
+                # mirror the real PlanCache: tracing is paid once per
+                # fresh structural signature, re-users ride for free
+                from ..tensor.engine import network_signature
+                try:
+                    sig = network_signature(self.problem.build_model(
+                        record.arch_seq, rng=seed + candidate_id))
+                except Exception:
+                    sig = None
+                if sig is not None and sig not in plan_sigs:
+                    plan_sigs.add(sig)
+                    plan_overhead = self.cost.plan_trace_seconds
             record.ok = result.ok
             record.score = result.score
             record.num_params = result.num_params
@@ -339,7 +363,8 @@ class SimulatedCluster:
             # hidden I/O is, by definition, off the critical path: only
             # the blocked seconds extend the candidate's GPU occupancy
             record.end_time = (record.start_time + duration
-                               + extra_seconds + record.io_blocked)
+                               + plan_overhead + extra_seconds
+                               + record.io_blocked)
             heapq.heappush(completions,
                            (record.end_time, candidate_id, record))
             heapq.heappush(gpus, (record.end_time, gpu))
@@ -363,6 +388,15 @@ class SimulatedCluster:
                 trace.io_stats["async_io"] = True
         if faults is not None:
             trace.fault_stats = fault_stats.as_dict()
+        if engine == "plan":
+            from ..tensor.engine import get_plan_cache
+            trace.engine_stats = {
+                "engine": engine,
+                "plans_traced_virtual": len(plan_sigs),
+                "plan_trace_virtual_seconds":
+                    len(plan_sigs) * self.cost.plan_trace_seconds,
+                **get_plan_cache().stats(),
+            }
         if gate is not None:
             stats = gate.stats.as_dict()
             # virtual proxy cost actually charged to the dispatcher

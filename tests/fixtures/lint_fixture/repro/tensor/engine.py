@@ -1,0 +1,25 @@
+"""Fixture: R010 violations (allocations inside compiled step bodies)."""
+
+import numpy as np
+
+
+class BadPlan:
+    def __init__(self, shape):
+        self._out = np.zeros(shape, dtype=np.float32)
+
+    def execute_forward(self, x):
+        tmp = np.zeros(x.shape, dtype=np.float32)
+        np.maximum(x, 0.0, out=tmp)
+        return tmp
+
+    def execute_backward(self, g):
+        return g.reshape(-1, 4)
+
+    def run_step(self, x, idx):
+        batch = np.take(x, idx, axis=0)
+        return batch.copy()
+
+    def trace(self, x):
+        # trace-time allocation is the sanctioned place — not a finding
+        self._cols = np.zeros(x.shape, dtype=np.float32)
+        return self._cols
