@@ -1,0 +1,160 @@
+"""Service load-generator benchmark: many interleaved tenant searches.
+
+One case drives a :class:`repro.service.SearchService` with dozens of
+concurrent sessions spread over several tenants — a fraction of them
+with per-session fault injection turned on — and measures what a
+service operator cares about:
+
+- **submit-to-score latency** per candidate (the span from the moment
+  the fair-share scheduler dispatched it to the moment its score
+  landed), reported as p50/p99 across every session's records;
+- **aggregate throughput** (scored candidates per wall-clock second
+  across the whole fleet);
+- **isolation**: clean sessions must finish with zero fault entries
+  while the chaotic ones book their injected faults — on a shared
+  evaluator, under load.
+
+The case is self-contained (own temp store + journals) and sized like
+the reproduction's other benchmarks: tiny candidates (~10 ms of
+training) so the *service* overhead — scheduling, routing, journaling,
+sharded-store writes — is what dominates the measured latencies.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from repro.apps import make_image_dataset
+from repro.checkpoint import ShardedCheckpointStore
+from repro.cluster import RetryPolicy, ThreadPoolEvaluator
+from repro.nas import (
+    ActivationOp,
+    DenseOp,
+    FlattenOp,
+    IdentityOp,
+    Problem,
+    RegularizedEvolution,
+    SearchSpace,
+)
+from repro.service import SearchService, SessionSpec, SessionState
+
+SEED = 0
+#: every Nth session runs with fault injection on
+CHAOS_EVERY = 5
+CRASH_PROB = 0.2
+
+
+def _bench_problem(seed: int = SEED) -> Problem:
+    space = SearchSpace("svc-bench", (6, 6, 2))
+    space.add_fixed(FlattenOp(), name="flatten")
+    space.add_variable("dense0", [
+        IdentityOp(), DenseOp(8, "relu"), DenseOp(16, "relu"),
+    ])
+    space.add_variable("act0", [IdentityOp(), ActivationOp("relu")])
+    space.add_variable("dense1", [IdentityOp(), DenseOp(8, "relu")])
+    space.add_fixed(DenseOp(4), name="head")
+    dataset = make_image_dataset(n_train=32, n_val=16, height=6, width=6,
+                                 channels=2, classes=4, seed=seed)
+    return Problem("svc-bench", space, dataset, learning_rate=1e-2,
+                   batch_size=16, estimation_epochs=1, max_epochs=4)
+
+
+def _percentile(sorted_vals, q):
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1,
+              max(0, round(q / 100.0 * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def service_load_case(num_sessions: int = 50,
+                      candidates_per_session: int = 4,
+                      num_tenants: int = 8, workers: int = 4) -> dict:
+    """Drive ``num_sessions`` interleaved searches to completion on one
+    shared fleet; returns the latency/throughput/isolation summary."""
+    problem = _bench_problem()
+    tmp = tempfile.mkdtemp(prefix="bench-service-")
+    evaluator = ThreadPoolEvaluator(num_workers=workers)
+    try:
+        service = SearchService(
+            evaluator=evaluator,
+            store=ShardedCheckpointStore(tmp + "/store", num_shards=4),
+            journal_dir=tmp + "/journals",
+            max_active_sessions=num_sessions,
+            max_pending_sessions=num_sessions,
+            tenant_max_sessions=num_sessions,
+            tenant_quota=max(2, workers // 2),
+        )
+        handles = []
+        for i in range(num_sessions):
+            chaotic = i % CHAOS_EVERY == 0
+            spec = SessionSpec(
+                problem=problem,
+                strategy=RegularizedEvolution(
+                    problem.space, rng=SEED + i, population_size=4,
+                    sample_size=2),
+                num_candidates=candidates_per_session,
+                tenant=f"tenant{i % num_tenants}",
+                name="chaotic" if chaotic else "clean",
+                scheme="lcs", seed=SEED + i,
+                chaos={"crash_prob": CRASH_PROB, "seed": SEED + i}
+                if chaotic else None,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.0,
+                                  jitter=0.0),
+            )
+            handles.append((service.submit(spec), chaotic))
+
+        t0 = time.perf_counter()
+        service.drive()
+        wall_s = time.perf_counter() - t0
+
+        latencies_ms = []
+        records = 0
+        clean_fault_entries = 0
+        chaos_injected = 0
+        failed_records = 0
+        states: dict[str, int] = {}
+        for handle, chaotic in handles:
+            status = handle.poll()
+            states[status.state] = states.get(status.state, 0) + 1
+            if status.state != SessionState.DONE:
+                continue
+            trace = handle.result()
+            records += len(trace)
+            latencies_ms.extend(
+                1e3 * (r.end_time - r.start_time) for r in trace.records)
+            fs = trace.fault_stats or {}
+            if chaotic:
+                chaos_injected += fs.get("by_kind", {}).get("injected", 0)
+                failed_records += fs.get("failed_records", 0)
+            else:
+                clean_fault_entries += fs.get("total_faults", 0)
+        latencies_ms.sort()
+        return {
+            "workload": (f"{num_sessions} interleaved lcs searches x "
+                         f"{candidates_per_session} candidates over "
+                         f"{num_tenants} tenants on a {workers}-worker "
+                         f"shared fleet, 1/{CHAOS_EVERY} sessions with "
+                         f"{CRASH_PROB:.0%} crash injection"),
+            "num_sessions": num_sessions,
+            "candidates_per_session": candidates_per_session,
+            "num_tenants": num_tenants,
+            "workers": workers,
+            "session_states": states,
+            "records": records,
+            "wall_s": round(wall_s, 3),
+            "throughput_records_per_s": round(records / wall_s, 3),
+            "latency_p50_ms": round(_percentile(latencies_ms, 50), 3),
+            "latency_p99_ms": round(_percentile(latencies_ms, 99), 3),
+            "latency_max_ms": round(latencies_ms[-1], 3)
+            if latencies_ms else 0.0,
+            "chaos_injected_faults": chaos_injected,
+            "chaos_failed_records": failed_records,
+            "clean_session_fault_entries": clean_fault_entries,
+        }
+    finally:
+        evaluator.close()
+        shutil.rmtree(tmp, ignore_errors=True)

@@ -1,0 +1,162 @@
+"""Emit ``BENCH_service.json``: multi-tenant search-service load numbers.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/service_runner.py            # full
+    PYTHONPATH=src python benchmarks/perf/service_runner.py --quick    # CI tier
+    PYTHONPATH=src python benchmarks/perf/service_runner.py --quick --check BENCH_service.json
+
+The full tier drives 50 interleaved searches (8 tenants, 1 in 5
+sessions under 20% crash injection) onto one shared evaluator fleet and
+reports p50/p99 submit-to-score latency plus aggregate throughput.
+
+``--check`` enforces the service invariants on the *fresh* numbers
+(every session lands DONE, clean sessions stay fault-free while the
+chaotic ones book injected faults, the latency distribution is sane)
+and compares p50 latency / throughput against a committed baseline,
+failing on >``REGRESSION_FACTOR``x drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+if __package__ in (None, ""):              # `python benchmarks/perf/service_runner.py`
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+
+import numpy as np
+
+from benchmarks.perf import service_cases, timing
+
+#: CI gate on baseline comparison — loose on purpose: the load case is a
+#: whole-service run on shared runners, far noisier than a micro-bench.
+REGRESSION_FACTOR = 3.0
+
+
+def collect(quick: bool = False) -> dict:
+    if quick:
+        num_sessions, cands, tenants = 16, 3, 4
+    else:
+        num_sessions, cands, tenants = 50, 4, 8
+    print(f"  service load: {num_sessions} sessions x {cands} candidates "
+          f"({tenants} tenants, chaos on) ...", flush=True)
+    load = service_cases.service_load_case(
+        num_sessions=num_sessions, candidates_per_session=cands,
+        num_tenants=tenants, workers=4)
+
+    return {
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "mode": "quick" if quick else "full",
+            "seed": service_cases.SEED,
+        },
+        "load": load,
+        "ru_maxrss_kb": {"after": timing.ru_maxrss_kb()},
+    }
+
+
+def check(current: dict, baseline_path: str) -> int:
+    """Invariants on the fresh run + loose baseline drift gate; returns
+    the number of failures."""
+    failures = 0
+    load = current["load"]
+    expected = load["num_sessions"] * load["candidates_per_session"]
+
+    def _invariant(ok: bool, label: str) -> None:
+        nonlocal failures
+        if not ok:
+            failures += 1
+        print(f"  check {label} -> {'ok' if ok else 'FAILED'}")
+
+    _invariant(load["session_states"] == {"done": load["num_sessions"]},
+               f"all sessions DONE: {load['session_states']}")
+    _invariant(load["records"] == expected,
+               f"no candidate lost: {load['records']}/{expected} records")
+    _invariant(load["clean_session_fault_entries"] == 0,
+               "isolation: clean sessions booked zero faults")
+    _invariant(load["chaos_injected_faults"] > 0,
+               f"chaos actually fired: "
+               f"{load['chaos_injected_faults']} injected faults")
+    _invariant(0.0 < load["latency_p50_ms"] <= load["latency_p99_ms"],
+               f"latency distribution sane: p50 "
+               f"{load['latency_p50_ms']:.2f}ms <= p99 "
+               f"{load['latency_p99_ms']:.2f}ms")
+    _invariant(load["throughput_records_per_s"] > 0,
+               f"throughput positive: "
+               f"{load['throughput_records_per_s']:.1f} records/s")
+
+    with open(baseline_path, encoding="utf-8") as f:
+        base = json.load(f).get("load", {})
+    if base.get("latency_p50_ms"):
+        limit = base["latency_p50_ms"] * REGRESSION_FACTOR
+        status = "ok"
+        if load["latency_p50_ms"] > limit:
+            failures += 1
+            status = "REGRESSED"
+        print(f"  check latency_p50_ms: {load['latency_p50_ms']:.2f} vs "
+              f"baseline {base['latency_p50_ms']:.2f} "
+              f"(limit {limit:.2f}) -> {status}")
+    if base.get("throughput_records_per_s"):
+        floor = base["throughput_records_per_s"] / REGRESSION_FACTOR
+        status = "ok"
+        if load["throughput_records_per_s"] < floor:
+            failures += 1
+            status = "REGRESSED"
+        print(f"  check throughput: "
+              f"{load['throughput_records_per_s']:.1f} records/s vs "
+              f"baseline {base['throughput_records_per_s']:.1f} "
+              f"(floor {floor:.1f}) -> {status}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI tier: fewer sessions and candidates")
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="output path (default: BENCH_service.json)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="enforce service invariants and compare "
+                             f"against a baseline (> {REGRESSION_FACTOR}x "
+                             "drift fails)")
+    args = parser.parse_args(argv)
+
+    print(f"collecting ({'quick' if args.quick else 'full'} mode) ...")
+    results = collect(quick=args.quick)
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    load = results["load"]
+    print(f"{load['num_sessions']} sessions x "
+          f"{load['candidates_per_session']} candidates in "
+          f"{load['wall_s']:.2f}s: "
+          f"{load['throughput_records_per_s']:.1f} records/s, "
+          f"submit-to-score p50 {load['latency_p50_ms']:.1f}ms / "
+          f"p99 {load['latency_p99_ms']:.1f}ms, "
+          f"{load['chaos_injected_faults']} faults injected, "
+          f"{load['clean_session_fault_entries']} leaked into clean "
+          f"sessions")
+
+    if args.check:
+        print(f"checking against {args.check} ...")
+        failures = check(results, args.check)
+        if failures:
+            print(f"FAIL: {failures} service check(s) failed")
+            return 1
+        print("service perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Smoke tier of the service load benchmark (small fleet).
+
+Structural invariants (isolation, completeness, chaos accounting) keep
+real thresholds; anything timing-derived only has to be positive and
+ordered (shared CI runners jitter).
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf import service_cases
+
+
+def test_service_load_case_structural_invariants():
+    row = service_cases.service_load_case(
+        num_sessions=10, candidates_per_session=3, num_tenants=3,
+        workers=4)
+    # every session completes on the shared fleet, no candidate lost
+    assert row["session_states"] == {"done": 10}, row
+    assert row["records"] == 30, row
+    # fault isolation: chaos fires only inside the chaotic sessions
+    assert row["chaos_injected_faults"] > 0, row
+    assert row["clean_session_fault_entries"] == 0, row
+    # latency/throughput numbers are positive and sanely ordered
+    assert 0.0 < row["latency_p50_ms"] <= row["latency_p99_ms"], row
+    assert row["latency_p99_ms"] <= row["latency_max_ms"], row
+    assert row["throughput_records_per_s"] > 0.0, row
+    assert row["wall_s"] > 0.0, row

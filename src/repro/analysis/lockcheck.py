@@ -66,13 +66,19 @@ __all__ = [
 #: with no entry are unranked: ordering against them is checked only via
 #: the observed-edge history.
 #:
-#: The only sanctioned nesting today is the prefetcher consulting the
-#: weight cache while deciding what to enqueue
-#: (``ProviderPrefetcher._lock`` -> ``WeightCache._lock``); every other
-#: lock is a leaf.  The static analyzer cross-checks its inferred
-#: acquisition edges against these ranks and R008-flags any violation.
+#: Sanctioned nestings today: the prefetcher consulting the weight
+#: cache while deciding what to enqueue (``ProviderPrefetcher._lock``
+#: -> ``WeightCache._lock``), the prefetcher probing a sharded store's
+#: placement index inside :meth:`ProviderPrefetcher.request`
+#: (``ProviderPrefetcher._lock`` -> ``ShardedCheckpointStore._lock``),
+#: and the service bookkeeping above everything
+#: (``SearchService._lock`` is the outermost rank); every other lock is
+#: a leaf.  The static analyzer cross-checks its inferred acquisition
+#: edges against these ranks and R008-flags any violation.
 LOCK_HIERARCHY: dict[str, int] = {
+    "SearchService._lock": 5,
     "ProviderPrefetcher._lock": 10,
+    "ShardedCheckpointStore._lock": 15,
     "_PoolEvaluator._lock": 20,
     "PlanCache._lock": 25,
     "SuperNet._lock": 30,

@@ -3,6 +3,7 @@
 from .cache import DEFAULT_CACHE_BYTES, WeightCache, make_cache, weights_nbytes
 from .multilevel import AsyncCheckpointWriter, MultiLevelStore
 from .prefetch import ProviderPrefetcher
+from .sharded import ShardBreaker, ShardedCheckpointStore, StoreUnavailableError
 from .store import CheckpointInfo, CheckpointStore, CorruptCheckpointError
 
 __all__ = [
@@ -13,6 +14,9 @@ __all__ = [
     "MultiLevelStore",
     "WeightCache",
     "ProviderPrefetcher",
+    "ShardBreaker",
+    "ShardedCheckpointStore",
+    "StoreUnavailableError",
     "make_cache",
     "weights_nbytes",
     "DEFAULT_CACHE_BYTES",

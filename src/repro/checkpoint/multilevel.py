@@ -135,11 +135,16 @@ class AsyncCheckpointWriter:
 
     def close(self) -> None:
         """Flush then stop the worker.  The worker is always stopped,
-        even when flush re-raises a captured write error."""
+        even when flush re-raises a captured write error.  Idempotent:
+        a second ``close()`` (service shutdown racing session teardown)
+        is a no-op — and a *concurrent* second close blocks until the
+        worker has actually stopped instead of returning mid-drain."""
         with self._lock:
-            if self._closed:
-                return
+            first = not self._closed
             self._closed = True
+        if not first:
+            self._worker.join()
+            return
         try:
             self.flush()
         finally:

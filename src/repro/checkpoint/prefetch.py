@@ -108,11 +108,15 @@ class ProviderPrefetcher:
                 return
 
     def close(self) -> None:
+        """Stop the background reader.  Idempotent: a second ``close()``
+        (service shutdown racing session teardown) is a no-op — and a
+        *concurrent* second close blocks until the worker has actually
+        stopped, so every caller returns to a fully-torn-down object."""
         with self._lock:
-            if self._closed:
-                return
+            first = not self._closed
             self._closed = True
-        self._queue.put(_STOP)
+        if first:
+            self._queue.put(_STOP)
         self._worker.join()
 
     def stats(self) -> dict:

@@ -23,8 +23,11 @@ order through this module — store calls are leaves in the lock graph.
 
 from __future__ import annotations
 
+import io
 import json
+import os
 import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -35,8 +38,23 @@ import numpy as np
 _ORDER_KEY = "__order__"
 #: Sidecar key for the user metadata in the new sidecar format.
 _META_KEY = "__meta__"
+#: Sidecar key for the CRC32 of the npz payload (new saves only; old
+#: sidecars without it load unchecked for backward compatibility).
+_CRC_KEY = "__crc32__"
 #: Sidecar directory corrupt checkpoints are quarantined into.
 QUARANTINE_DIR = ".quarantine"
+
+
+def _atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` via temp-file + fsync + ``os.replace``
+    so a crash mid-write never leaves a torn file at the canonical name
+    — readers see the old content or the new, nothing in between."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 class CorruptCheckpointError(Exception):
@@ -84,15 +102,24 @@ class CheckpointStore:
     # -- save / load ----------------------------------------------------
     def save(self, key: str, weights: dict[str, np.ndarray],
              meta: dict | None = None) -> CheckpointInfo:
+        """Atomic save: npz and sidecar are each written to a temp file
+        in the same directory, fsynced, then ``os.replace``d — a crash
+        mid-save never leaves a garbage archive at the canonical key.
+        The sidecar carries a CRC32 of the npz payload; :meth:`load`
+        verifies it, catching bit-rot that still parses as valid zip."""
         path = self.path(key)
         payload = {name: np.asarray(arr) for name, arr in weights.items()}
-        with open(path, "wb") as fh:
-            if self.compress:
-                np.savez_compressed(fh, **payload)
-            else:
-                np.savez(fh, **payload)
-        sidecar = {_ORDER_KEY: list(weights.keys()), _META_KEY: meta}
-        self.meta_path(key).write_text(json.dumps(sidecar))
+        buf = io.BytesIO()
+        if self.compress:
+            np.savez_compressed(buf, **payload)
+        else:
+            np.savez(buf, **payload)
+        blob = buf.getvalue()
+        _atomic_write_bytes(path, blob)
+        sidecar = {_ORDER_KEY: list(weights.keys()), _META_KEY: meta,
+                   _CRC_KEY: zlib.crc32(blob) & 0xFFFFFFFF}
+        _atomic_write_bytes(self.meta_path(key),
+                            json.dumps(sidecar).encode())
         return CheckpointInfo(key, path, path.stat().st_size)
 
     def _sidecar(self, key: str) -> dict | None:
@@ -106,10 +133,19 @@ class CheckpointStore:
 
         Raises :class:`CorruptCheckpointError` when the archive exists
         but cannot be decoded (truncated/garbage npz, missing member,
-        malformed sidecar) — see :meth:`quarantine` for the recovery."""
+        malformed sidecar) — or decodes fine but its bytes no longer
+        match the CRC32 recorded at save time (bit-rot that still
+        parses as a valid zip) — see :meth:`quarantine` for recovery."""
         path = self.path(key)
         try:
             sidecar = self._sidecar(key)
+            if sidecar is not None and _CRC_KEY in sidecar:
+                crc = zlib.crc32(path.read_bytes()) & 0xFFFFFFFF
+                if crc != sidecar[_CRC_KEY]:
+                    raise CorruptCheckpointError(key, path, ValueError(
+                        f"CRC32 mismatch: sidecar records "
+                        f"{sidecar[_CRC_KEY]:#010x}, archive hashes "
+                        f"{crc:#010x}"))
             if sidecar is not None and _ORDER_KEY in sidecar:
                 order = [str(n) for n in sidecar[_ORDER_KEY]]
                 with np.load(path) as data:    # allow_pickle stays False

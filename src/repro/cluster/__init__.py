@@ -18,7 +18,7 @@ from .resilience import (
     WaitTimeout,
     WorkerLost,
 )
-from .scheduler import SCHEMES, run_search
+from .scheduler import SCHEMES, SearchDriver, run_search
 from .simcluster import CostModel, FaultModel, SimulatedCluster
 from .trace import Trace, TraceRecord, checkpoint_key
 from .transport import (
@@ -29,7 +29,7 @@ from .transport import (
 )
 
 __all__ = [
-    "run_search", "SCHEMES",
+    "run_search", "SCHEMES", "SearchDriver",
     "SerialEvaluator", "ThreadPoolEvaluator", "ProcessPoolEvaluator",
     "SimulatedCluster", "CostModel", "FaultModel",
     "Trace", "TraceRecord", "checkpoint_key",

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Service smoke: multi-tenant searches must stay isolated under chaos.
+
+CI gate for the NAS-as-a-service layer (DESIGN.md "Service
+architecture").  Interleaves six tenant sessions — every third one
+under 20% crash injection — onto one shared evaluator fleet over a
+sharded checkpoint store, and asserts:
+
+1. every session completes and the chaos lands only in the chaotic
+   sessions' fault accounting (isolation),
+2. a clean tenant's trace is bit-identical to the same search run solo
+   (multiplexing is invisible to well-behaved tenants),
+3. per-tenant admission quotas reject over-subscription with
+   :class:`AdmissionError` backpressure instead of degrading everyone,
+4. a graceful drain journals in-flight sessions and ``recover()``
+   replays the interrupted prefix bit-identically before completing it.
+
+Run:  python -m repro.experiments.service_smoke
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from ..apps import make_image_dataset
+from ..checkpoint import ShardedCheckpointStore
+from ..cluster import RetryPolicy, SerialEvaluator, run_search
+from ..nas import (
+    ActivationOp,
+    DenseOp,
+    FlattenOp,
+    IdentityOp,
+    Problem,
+    RegularizedEvolution,
+    SearchSpace,
+)
+from ..service import AdmissionError, SearchService, SessionSpec, SessionState
+
+NUM_SESSIONS = 6
+NUM_CANDIDATES = 4
+CRASH_PROB = 0.2
+
+
+def _build_problem(seed: int = 0) -> Problem:
+    space = SearchSpace("service-smoke", (6, 6, 2))
+    space.add_fixed(FlattenOp(), name="flatten")
+    space.add_variable("dense0", [
+        IdentityOp(), DenseOp(8, "relu"), DenseOp(16, "relu"),
+    ])
+    space.add_variable("act0", [IdentityOp(), ActivationOp("relu")])
+    space.add_variable("dense1", [IdentityOp(), DenseOp(8, "relu")])
+    space.add_fixed(DenseOp(4), name="head")
+    dataset = make_image_dataset(n_train=32, n_val=16, height=6, width=6,
+                                 channels=2, classes=4, seed=seed)
+    return Problem("service-smoke", space, dataset, learning_rate=1e-2,
+                   batch_size=16, estimation_epochs=1, max_epochs=4)
+
+
+def _spec(problem: Problem, seed: int, *, tenant: str, chaotic: bool,
+          n: int = NUM_CANDIDATES, on_record=None) -> SessionSpec:
+    return SessionSpec(
+        problem=problem,
+        strategy=RegularizedEvolution(problem.space, rng=seed,
+                                      population_size=4, sample_size=2),
+        num_candidates=n, tenant=tenant,
+        name="chaotic" if chaotic else "clean",
+        scheme="lcs", seed=seed,
+        chaos={"crash_prob": CRASH_PROB, "seed": seed} if chaotic else None,
+        retry=RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        if chaotic else None,
+        on_record=on_record,
+    )
+
+
+def _sig(records):
+    return [(r.candidate_id, r.arch_seq, r.score, r.provider_id, r.ok)
+            for r in records]
+
+
+def _check_isolation(problem: Problem, tmp: Path) -> None:
+    service = SearchService(
+        evaluator=SerialEvaluator(),
+        store=ShardedCheckpointStore(tmp / "store", num_shards=3),
+        journal_dir=tmp / "journals",
+    )
+    handles = []
+    for i in range(NUM_SESSIONS):
+        chaotic = i % 3 == 0
+        handles.append((service.submit(
+            _spec(problem, seed=i, tenant=f"tenant{i % 3}",
+                  chaotic=chaotic)), chaotic))
+    service.drive()
+
+    injected = 0
+    for handle, chaotic in handles:
+        assert handle.poll().state == SessionState.DONE, \
+            f"{handle.session_id} did not complete under shared chaos"
+        trace = handle.result()
+        assert len(trace) == NUM_CANDIDATES
+        if chaotic:
+            injected += (trace.fault_stats or {}).get(
+                "by_kind", {}).get("injected", 0)
+        else:
+            assert trace.fault_stats is None, \
+                f"chaos leaked into clean session {handle.session_id}"
+    assert injected > 0, "chaos injected nothing — smoke proves nothing"
+    print(f"isolation            : {NUM_SESSIONS} sessions done, "
+          f"{injected} faults contained in chaotic sessions only")
+
+    # the same clean search run solo, bit for bit
+    solo = run_search(
+        problem,
+        RegularizedEvolution(problem.space, rng=1, population_size=4,
+                             sample_size=2),
+        NUM_CANDIDATES, scheme="lcs",
+        store=ShardedCheckpointStore(tmp / "solo", num_shards=3),
+        evaluator=SerialEvaluator(), seed=1)
+    service_trace = handles[1][0].result()
+    assert _sig(service_trace.records) == _sig(solo.records), \
+        "multiplexed clean session diverged from its solo run"
+    print("clean-tenant check   : bit-identical to the solo run")
+
+
+def _check_admission(problem: Problem, tmp: Path) -> None:
+    service = SearchService(
+        evaluator=SerialEvaluator(),
+        store=ShardedCheckpointStore(tmp / "adm-store", num_shards=3),
+        journal_dir=tmp / "adm-journals",
+        tenant_max_sessions=2)
+    for i in range(2):
+        service.submit(_spec(problem, seed=10 + i, tenant="greedy",
+                             chaotic=False))
+    try:
+        service.submit(_spec(problem, seed=12, tenant="greedy",
+                             chaotic=False))
+    except AdmissionError as exc:
+        print(f"admission check      : third session rejected ({exc})")
+    else:
+        raise AssertionError("tenant over-subscription was admitted")
+    service.drive()
+
+
+def _check_drain_recover(problem: Problem, tmp: Path) -> None:
+    store = ShardedCheckpointStore(tmp / "drain-store", num_shards=3)
+    service = SearchService(evaluator=SerialEvaluator(), store=store,
+                            journal_dir=tmp / "drain-journals")
+    handle = service.submit(_spec(
+        problem, seed=21, tenant="drained", chaotic=False,
+        on_record=lambda r: r.candidate_id == 1
+        and service.request_drain()))
+    sid = handle.session_id
+    service.drive()
+    assert handle.poll().state == SessionState.INTERRUPTED
+    manifests = service.recoverable_sessions()
+    assert sid in manifests and manifests[sid]["completed"] == 2
+    interrupted_sig = _sig(handle.result().records)
+
+    revived = SearchService(evaluator=SerialEvaluator(), store=store,
+                            journal_dir=tmp / "drain-journals")
+    (recovered,) = revived.recover(
+        {sid: _spec(problem, seed=21, tenant="drained", chaotic=False)})
+    revived.drive()
+    trace = recovered.result()
+    assert recovered.poll().state == SessionState.DONE
+    assert len(trace) == NUM_CANDIDATES
+    assert trace.fault_stats["resumed_records"] == 2
+    assert _sig(trace.records[:2]) == interrupted_sig, \
+        "recovery did not replay the journaled prefix bit-identically"
+    assert revived.recoverable_sessions() == {}
+    print(f"drain/recover check  : {sid} resumed 2 journaled records "
+          f"bit-identically and completed {NUM_CANDIDATES}")
+
+
+def main() -> int:
+    problem = _build_problem()
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        _check_isolation(problem, root)
+        _check_admission(problem, root)
+        _check_drain_recover(problem, root)
+    print("OK: service smoke passed (isolation + quotas + drain/recover)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""NAS-as-a-service: many concurrent searches on one evaluator fleet.
+
+:class:`SearchService` multiplexes any number of tenant-submitted
+searches onto a single shared evaluator with hard fault isolation —
+one tenant's chaos, store outage or buggy strategy never perturbs
+another tenant's trace (see DESIGN.md "Service architecture").
+"""
+
+from .core import (
+    AdmissionError,
+    SearchService,
+    SessionHandle,
+    SessionSpec,
+    SessionState,
+    SessionStatus,
+)
+
+__all__ = [
+    "AdmissionError",
+    "SearchService",
+    "SessionHandle",
+    "SessionSpec",
+    "SessionState",
+    "SessionStatus",
+]

@@ -1,0 +1,784 @@
+"""The multi-tenant search service (DESIGN.md "Service architecture").
+
+:class:`SearchService` turns the library's one-search ``run_search``
+into a long-lived service: tenants :meth:`~SearchService.submit`
+sessions, the service multiplexes every admitted session's candidate
+evaluations onto **one shared evaluator fleet**, and each session's
+results stream back through :meth:`~SearchService.poll` /
+:meth:`~SearchService.stream` / :meth:`~SearchService.result`.
+
+The building block is the re-entrant
+:class:`repro.cluster.scheduler.SearchDriver`: the service never calls
+``driver.step()`` — it calls ``driver.submit_next()`` when the fair-share
+scheduler grants the session a slot, waits on the *shared* evaluator,
+and routes each completion back to its owning driver by ticket
+(``driver.complete`` ignores tickets it does not own, so routing
+mistakes are inert).
+
+Fault isolation, by construction:
+
+- **State**: every rng stream, fault counter, journal and retry budget
+  is ``SearchDriver`` instance state — chaos injected into tenant A's
+  sessions lands in A's ``fault_stats`` and nowhere else.
+- **Checkpoints**: each session's keys are namespaced with
+  ``"<session_id>--"`` inside the shared store, so two tenants'
+  ``cand_000003`` never collide and a quarantine decision only ever
+  removes the faulting session's checkpoint.
+- **Chaos**: per-session fault injection wraps the shared evaluator in
+  a session-local :class:`~repro.cluster.resilience.ChaosEvaluator` —
+  the fault draw happens on the session's own seeded rng at submit
+  time, so a clean tenant interleaved with chaotic ones produces the
+  same records as running alone.
+- **Crashes**: a driver that raises out of containment (a buggy
+  strategy, a broken problem) marks *that session* FAILED; its tickets
+  are abandoned and every other session keeps running.
+
+Admission control is reject-with-backpressure: a full session queue or
+an over-quota tenant gets an immediate :class:`AdmissionError` — the
+service never buffers unboundedly and never silently drops.
+
+Graceful shutdown: :meth:`~SearchService.request_drain` (wired to
+SIGTERM/SIGINT by :meth:`~SearchService.install_signal_handlers`) stops
+new submissions, lets every in-flight evaluation land (each completed
+record is journaled durably by its session's ``TraceJournal`` *before*
+the strategy sees it), then marks unfinished sessions INTERRUPTED.  A
+later :meth:`~SearchService.recover` replays each interrupted session's
+journal and resumes it — completed records bit-identical, the search
+continuing from its last durable candidate.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+from ..analysis.lockcheck import make_lock
+from ..cluster.evaluator import SerialEvaluator
+from ..cluster.resilience import ChaosEvaluator, WaitTimeout
+from ..cluster.scheduler import SearchDriver
+from ..cluster.trace import Trace, TraceRecord
+
+__all__ = [
+    "AdmissionError",
+    "SearchService",
+    "SessionHandle",
+    "SessionSpec",
+    "SessionState",
+    "SessionStatus",
+]
+
+#: Lock-discipline assertion (lint R004/R007): the session table, the
+#: ticket routing map, the tenant accounting and the drain flag are
+#: shared between the drive thread and tenant-facing API calls.  Every
+#: write must hold ``self._lock`` (rank 5 — the outermost lock in the
+#: repo hierarchy); driver/evaluator/store calls happen outside it.
+_GUARDED_ATTRS = ("_sessions", "_queued", "_ticket_owner",
+                  "_tenant_inflight", "_tenant_rotor", "_draining",
+                  "_driving", "_seq")
+
+_RECORD_DONE = object()          # per-session stream sentinel
+
+
+class AdmissionError(Exception):
+    """The service rejected a submission — queue full or tenant over
+    quota.  Backpressure, not buffering: the caller decides whether to
+    retry later, shed load, or escalate."""
+
+
+class SessionState:
+    """Session lifecycle labels (plain strings so they serialize)."""
+
+    QUEUED = "queued"            # admitted, waiting for an active slot
+    RUNNING = "running"          # being multiplexed onto the fleet
+    DONE = "done"                # all candidates landed
+    CANCELLED = "cancelled"      # tenant cancelled; partial trace kept
+    FAILED = "failed"            # driver raised out of containment
+    INTERRUPTED = "interrupted"  # drained mid-run; journal resumable
+
+    #: states a session can still make progress from
+    ACTIVE = frozenset({QUEUED, RUNNING})
+    #: terminal states (the manifest's final word)
+    TERMINAL = frozenset({DONE, CANCELLED, FAILED, INTERRUPTED})
+
+
+@dataclass
+class SessionSpec:
+    """Everything one search session needs.  ``problem`` and
+    ``strategy`` are live objects (a fresh strategy per spec — the
+    service hands it straight to the session's driver); the scalar
+    fields are mirrored into the on-disk manifest so
+    :meth:`SearchService.recover` can match a re-supplied spec to an
+    interrupted session."""
+
+    problem: object
+    strategy: object
+    num_candidates: int
+    tenant: str = "default"
+    name: Optional[str] = None
+    scheme: str = "lcs"
+    seed: int = 0
+    provider_policy: object = "parent"
+    retry: object = None
+    task_timeout: Optional[float] = None
+    cache: object = None
+    prefetch: bool = False
+    engine: str = "eager"
+    #: per-session chaos: kwargs for ChaosEvaluator (crash_prob /
+    #: hang_prob / corrupt_prob / hang_seconds / seed) — faults drawn
+    #: from this session's own rng, invisible to every other session
+    chaos: Optional[dict] = None
+    #: optional per-record callback (in addition to ``stream``)
+    on_record: Optional[Callable[[TraceRecord], None]] = None
+    extra_driver_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SessionStatus:
+    """Point-in-time snapshot returned by :meth:`SearchService.poll`."""
+
+    session_id: str
+    tenant: str
+    state: str
+    submitted: int
+    completed: int
+    num_candidates: int
+    in_flight: int
+    error: Optional[str] = None
+
+
+class SessionHandle:
+    """What :meth:`SearchService.submit` returns — the tenant's end of
+    a session.  Thin: just the id plus convenience forwarding."""
+
+    def __init__(self, service: "SearchService", session_id: str):
+        self._service = service
+        self.session_id = session_id
+
+    def poll(self) -> SessionStatus:
+        return self._service.poll(self.session_id)
+
+    def result(self) -> Trace:
+        return self._service.result(self.session_id)
+
+    def cancel(self) -> None:
+        self._service.cancel(self.session_id)
+
+    def stream(self) -> Iterator[TraceRecord]:
+        return self._service.stream(self.session_id)
+
+    def __repr__(self):
+        return f"<SessionHandle {self.session_id}>"
+
+
+class _Session:
+    """Service-internal per-session state: the driver plus lifecycle
+    bookkeeping.  Mutated only on the drive thread (state transitions)
+    or under the service lock (flags)."""
+
+    def __init__(self, session_id: str, spec: SessionSpec,
+                 driver: SearchDriver, evaluator):
+        self.session_id = session_id
+        self.spec = spec
+        self.driver = driver
+        self.evaluator = evaluator       # session view (maybe chaos-wrapped)
+        self.state = SessionState.QUEUED
+        self.error: Optional[str] = None
+        self.cancel_requested = False
+        self.trace: Optional[Trace] = None
+        self.records: "queue.SimpleQueue" = queue.SimpleQueue()
+
+
+class SearchService:
+    """Fault-isolated multi-tenant NAS search service.
+
+    Parameters
+    ----------
+    evaluator:
+        The shared fleet every session's evaluations run on.  Defaults
+        to a :class:`SerialEvaluator`; any evaluator exposing
+        ``submit`` / ``wait_any`` / ``abandon`` / ``num_workers`` works.
+    store:
+        Shared checkpoint store (typically a
+        :class:`~repro.checkpoint.ShardedCheckpointStore`); sessions
+        namespace their keys with ``"<session_id>--"``.  ``None`` is
+        fine when every session runs the baseline scheme.
+    journal_dir:
+        Where per-session journals (``<sid>.jsonl``) and manifests
+        (``<sid>.manifest.json``) live.  Required for drain/recover.
+    max_active_sessions:
+        Fair-share width: how many sessions are multiplexed at once;
+        admitted sessions beyond this wait QUEUED (FIFO).
+    max_pending_sessions:
+        Bound on the QUEUED backlog — the admission-control queue.  A
+        submission past it raises :class:`AdmissionError`.
+    tenant_max_sessions:
+        Per-tenant bound on live (queued + running) sessions; exceeding
+        it raises :class:`AdmissionError`.
+    tenant_quota:
+        Per-tenant cap on simultaneously in-flight *evaluations* — the
+        fair-share knob that stops one tenant saturating the fleet.
+    max_in_flight:
+        Global in-flight evaluation cap (default: the evaluator's
+        ``num_workers``).
+    """
+
+    def __init__(self, *, evaluator=None, store=None, journal_dir=None,
+                 max_active_sessions: int = 8,
+                 max_pending_sessions: int = 64,
+                 tenant_max_sessions: int = 16,
+                 tenant_quota: int = 4,
+                 max_in_flight: Optional[int] = None):
+        self.evaluator = evaluator or SerialEvaluator()
+        self.store = store
+        self.journal_dir = Path(journal_dir) if journal_dir is not None \
+            else None
+        if self.journal_dir is not None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self.max_active_sessions = int(max_active_sessions)
+        self.max_pending_sessions = int(max_pending_sessions)
+        self.tenant_max_sessions = int(tenant_max_sessions)
+        self.tenant_quota = int(tenant_quota)
+        self.max_in_flight = int(max_in_flight) if max_in_flight \
+            else getattr(self.evaluator, "num_workers", 1)
+
+        self._lock = make_lock("SearchService._lock")
+        self._sessions: dict[str, _Session] = {}
+        self._queued: list[str] = []            # admission FIFO
+        self._ticket_owner: dict[int, str] = {} # shared-fleet routing map
+        self._tenant_inflight: dict[str, int] = {}
+        self._draining = False
+        self._driving = False
+        self._seq = 0
+        self._drive_thread: Optional[threading.Thread] = None
+        self._tenant_rotor = 0                  # drive-thread only
+        self._prev_handlers: dict[int, object] = {}  # main thread only
+
+    # ------------------------------------------------------------------
+    # admission (tenant-facing, any thread)
+    # ------------------------------------------------------------------
+    def submit(self, spec: SessionSpec, *, session_id: Optional[str] = None,
+               resume=None, _force: bool = False) -> SessionHandle:
+        """Admit one search session; returns its handle immediately.
+
+        Raises :class:`AdmissionError` when the pending queue is full
+        or the tenant is at its session quota — backpressure, never
+        unbounded buffering.  ``resume`` replays a journal path
+        (normally via :meth:`recover`, which fills it in)."""
+        with self._lock:
+            if self._draining:
+                raise AdmissionError("service is draining")
+            if not _force:
+                live = [s for s in self._sessions.values()
+                        if s.state in SessionState.ACTIVE]
+                if len(self._queued) >= self.max_pending_sessions:
+                    raise AdmissionError(
+                        f"session queue full "
+                        f"({self.max_pending_sessions} pending)")
+                tenant_live = sum(1 for s in live
+                                  if s.spec.tenant == spec.tenant)
+                if tenant_live >= self.tenant_max_sessions:
+                    raise AdmissionError(
+                        f"tenant {spec.tenant!r} at its session quota "
+                        f"({self.tenant_max_sessions})")
+            if session_id is None:
+                session_id = (f"{spec.tenant}.{spec.name or 'search'}"
+                              f".{self._seq:04d}")
+                self._seq += 1
+            if session_id in self._sessions:
+                raise AdmissionError(f"session {session_id!r} exists")
+        session = self._build_session(session_id, spec, resume=resume)
+        with self._lock:
+            self._sessions[session_id] = session
+            self._queued.append(session_id)
+        self._write_manifest(session)
+        return SessionHandle(self, session_id)
+
+    def _build_session(self, session_id: str, spec: SessionSpec,
+                       resume=None) -> _Session:
+        evaluator = self.evaluator
+        if spec.chaos:
+            evaluator = ChaosEvaluator(self.evaluator, **spec.chaos)
+        journal = None
+        if self.journal_dir is not None:
+            journal = self.journal_dir / f"{session_id}.jsonl"
+        holder: dict[str, _Session] = {}
+
+        def on_dispatch(ticket: int) -> None:
+            with self._lock:
+                self._ticket_owner[ticket] = session_id
+                tenant = spec.tenant
+                self._tenant_inflight[tenant] = \
+                    self._tenant_inflight.get(tenant, 0) + 1
+
+        def on_record(record: TraceRecord) -> None:
+            holder["session"].records.put(record)
+            if spec.on_record is not None:
+                spec.on_record(record)
+
+        driver = SearchDriver(
+            spec.problem, spec.strategy, spec.num_candidates,
+            scheme=spec.scheme, store=self.store, evaluator=evaluator,
+            provider_policy=spec.provider_policy, seed=spec.seed,
+            name=f"{session_id}-{spec.scheme}",
+            retry=spec.retry, task_timeout=spec.task_timeout,
+            cache=spec.cache, prefetch=spec.prefetch, engine=spec.engine,
+            journal=journal, resume=resume,
+            key_prefix=f"{session_id}--",
+            on_dispatch=on_dispatch, on_record=on_record,
+            **spec.extra_driver_kwargs,
+        )
+        session = _Session(session_id, spec, driver, evaluator)
+        holder["session"] = session
+        return session
+
+    # ------------------------------------------------------------------
+    # tenant-facing observation / control (any thread)
+    # ------------------------------------------------------------------
+    def _get(self, session_id: str) -> _Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise KeyError(f"unknown session {session_id!r}")
+        return session
+
+    def poll(self, session_id: str) -> SessionStatus:
+        s = self._get(session_id)
+        return SessionStatus(
+            session_id=s.session_id, tenant=s.spec.tenant, state=s.state,
+            submitted=s.driver.submitted, completed=s.driver.completed,
+            num_candidates=s.driver.num_candidates,
+            in_flight=s.driver.in_flight, error=s.error,
+        )
+
+    def result(self, session_id: str) -> Trace:
+        """The session's trace.  Terminal sessions only — a DONE
+        session's full trace, or the partial trace of a cancelled /
+        failed / interrupted one."""
+        s = self._get(session_id)
+        if s.state not in SessionState.TERMINAL or s.trace is None:
+            raise RuntimeError(f"session {session_id!r} is {s.state}; "
+                               f"no result yet")
+        return s.trace
+
+    def stream(self, session_id: str) -> Iterator[TraceRecord]:
+        """Yield the session's records in completion order, blocking
+        until the next one lands; ends when the session reaches a
+        terminal state.  Safe from any thread (the records flow through
+        a per-session queue fed by the driver's ``on_record``)."""
+        s = self._get(session_id)
+        while True:
+            item = s.records.get()
+            if item is _RECORD_DONE:
+                return
+            yield item
+
+    def cancel(self, session_id: str) -> None:
+        """Request cancellation.  Takes effect on the drive thread
+        (between completions); a queued session is torn down on the
+        next drive turn without ever submitting."""
+        s = self._get(session_id)
+        s.cancel_requested = True
+
+    def sessions(self) -> list[SessionStatus]:
+        with self._lock:
+            ids = list(self._sessions)
+        return [self.poll(sid) for sid in ids]
+
+    def stats(self) -> dict:
+        """Service-level aggregate (fleet + admission view)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            by_state: dict[str, int] = {}
+            for s in sessions:
+                by_state[s.state] = by_state.get(s.state, 0) + 1
+            return {
+                "sessions": len(sessions),
+                "by_state": by_state,
+                "queued": len(self._queued),
+                "in_flight": len(self._ticket_owner),
+                "tenant_inflight": {t: n for t, n in
+                                    self._tenant_inflight.items() if n},
+                "draining": self._draining,
+            }
+
+    # ------------------------------------------------------------------
+    # the drive loop (single thread: caller's or the background one)
+    # ------------------------------------------------------------------
+    def drive(self) -> None:
+        """Multiplex every admitted session to a terminal state (or
+        until a drain is requested).  Synchronous: runs on the calling
+        thread; :meth:`start` runs the same loop in the background."""
+        with self._lock:
+            if self._driving:
+                raise RuntimeError("service is already being driven")
+            self._driving = True
+        try:
+            while True:
+                self._process_cancellations()
+                self._promote_queued()
+                self._finish_completed()
+                if not self._is_draining():
+                    self._submit_round()
+                if self._outstanding() > 0:
+                    self._wait_once()
+                    continue
+                # nothing in flight: either everyone is terminal, or a
+                # drain left runnable sessions behind
+                if self._is_draining():
+                    self._interrupt_active()
+                    return
+                if not self._any_active():
+                    return
+        finally:
+            with self._lock:
+                self._driving = False
+
+    def start(self) -> None:
+        """Run :meth:`drive` on a background thread (returns at once)."""
+        self._drive_thread = threading.Thread(target=self.drive,
+                                              daemon=True)
+        self._drive_thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._drive_thread is not None:
+            self._drive_thread.join(timeout)
+
+    # -- scheduling helpers (drive thread only) -------------------------
+    def _is_draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def _outstanding(self) -> int:
+        with self._lock:
+            return len(self._ticket_owner)
+
+    def _any_active(self) -> bool:
+        with self._lock:
+            return any(s.state in SessionState.ACTIVE
+                       for s in self._sessions.values())
+
+    def _promote_queued(self) -> None:
+        while True:
+            with self._lock:
+                running = sum(1 for s in self._sessions.values()
+                              if s.state == SessionState.RUNNING)
+                if not self._queued \
+                        or running >= self.max_active_sessions:
+                    return
+                sid = self._queued.pop(0)
+            session = self._get(sid)
+            if session.state == SessionState.QUEUED:
+                session.state = SessionState.RUNNING
+                self._write_manifest(session)
+
+    def _finish_completed(self) -> None:
+        """Finish RUNNING sessions that are already done — notably a
+        recovered session whose journal held every candidate, which
+        never submits anything."""
+        with self._lock:
+            done = [s for s in self._sessions.values()
+                    if s.state == SessionState.RUNNING and s.driver.done
+                    and not s.driver.in_flight]
+        for s in done:
+            self._finish(s, SessionState.DONE)
+
+    def _submit_round(self) -> None:
+        """Fair-share: rotate over tenants, one submission per eligible
+        tenant per turn, until the fleet is full or nobody is eligible.
+        Per-tenant in-flight stays under ``tenant_quota``."""
+        while True:
+            with self._lock:
+                if len(self._ticket_owner) >= self.max_in_flight:
+                    return
+                runnable = [s for s in self._sessions.values()
+                            if s.state == SessionState.RUNNING
+                            and not s.cancel_requested
+                            and s.driver.wants_submit]
+                tenants = sorted({s.spec.tenant for s in runnable})
+                if not tenants:
+                    return
+                pick = None
+                for i in range(len(tenants)):
+                    tenant = tenants[(self._tenant_rotor + i)
+                                     % len(tenants)]
+                    if self._tenant_inflight.get(tenant, 0) \
+                            >= self.tenant_quota:
+                        continue
+                    for s in runnable:      # first runnable session wins
+                        if s.spec.tenant == tenant:
+                            pick = s
+                            break
+                    if pick is not None:
+                        self._tenant_rotor = \
+                            (self._tenant_rotor + i + 1) % len(tenants)
+                        break
+                if pick is None:
+                    return
+            # driver call outside the service lock: submission touches
+            # the prefetcher/store/evaluator locks (ranks 10+) and
+            # re-enters via on_dispatch
+            try:
+                pick.driver.submit_next()
+            except Exception as exc:
+                self._fail_session(pick, exc)
+
+    def _wait_once(self) -> None:
+        """Wait on the *shared* evaluator, route one completion to its
+        owning session; sweep deadlines on timeout."""
+        budget = self._deadline_budget()
+        try:
+            ticket, result = self.evaluator.wait_any(timeout=budget)
+        except WaitTimeout:
+            self._sweep_deadlines()
+            return
+        with self._lock:
+            sid = self._ticket_owner.pop(ticket, None)
+            if sid is not None:
+                session = self._sessions[sid]
+                tenant = session.spec.tenant
+                self._tenant_inflight[tenant] = \
+                    max(0, self._tenant_inflight.get(tenant, 0) - 1)
+        if sid is None:
+            return                       # abandoned/cancelled ticket
+        try:
+            session.driver.complete(ticket, result)
+        except Exception as exc:
+            self._fail_session(session, exc)
+            return
+        self._reconcile(session)
+        if session.driver.done:
+            self._finish(session, SessionState.DONE)
+
+    def _deadline_budget(self) -> Optional[float]:
+        deadlines = []
+        with self._lock:
+            sessions = list(self._sessions.values())
+        for s in sessions:
+            if s.state == SessionState.RUNNING:
+                d = s.driver.next_deadline
+                if d is not None:
+                    deadlines.append(d)
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic())
+
+    def _sweep_deadlines(self) -> None:
+        with self._lock:
+            sessions = [s for s in self._sessions.values()
+                        if s.state == SessionState.RUNNING]
+        for s in sessions:
+            try:
+                s.driver.sweep_deadlines()
+            except Exception as exc:
+                self._fail_session(s, exc)
+                continue
+            self._reconcile(s)
+            if s.driver.done:
+                self._finish(s, SessionState.DONE)
+
+    def _reconcile(self, session: _Session) -> None:
+        """Drop routing entries for tickets the driver no longer owns
+        (abandoned stragglers, swept deadlines) so the outstanding
+        count never waits on a completion that will never arrive."""
+        live = set(session.driver.pending_tickets())
+        with self._lock:
+            stale = [t for t, sid in self._ticket_owner.items()
+                     if sid == session.session_id and t not in live]
+            for t in stale:
+                del self._ticket_owner[t]
+                tenant = session.spec.tenant
+                self._tenant_inflight[tenant] = \
+                    max(0, self._tenant_inflight.get(tenant, 0) - 1)
+
+    # -- lifecycle transitions (drive thread only) ----------------------
+    def _abandon_tickets(self, session: _Session) -> None:
+        with self._lock:
+            owned = [t for t, sid in self._ticket_owner.items()
+                     if sid == session.session_id]
+            for t in owned:
+                del self._ticket_owner[t]
+            tenant = session.spec.tenant
+            if owned:
+                self._tenant_inflight[tenant] = max(
+                    0, self._tenant_inflight.get(tenant, 0) - len(owned))
+        abandon = getattr(self.evaluator, "abandon", None)
+        if abandon is not None:
+            for t in owned:
+                abandon(t)
+
+    def _finish(self, session: _Session, state: str) -> None:
+        session.state = state
+        try:
+            session.trace = session.driver.finalize()
+        except Exception as exc:
+            session.error = session.error or repr(exc)
+            session.trace = session.driver.trace
+        self._write_manifest(session)
+        session.records.put(_RECORD_DONE)
+
+    def _fail_session(self, session: _Session, exc: Exception) -> None:
+        """Containment of last resort: the driver itself raised.  The
+        session dies alone — tickets abandoned, partial trace kept,
+        every other session untouched."""
+        session.error = repr(exc)
+        self._abandon_tickets(session)
+        try:
+            session.driver.close()
+        except Exception:
+            pass
+        self._finish(session, SessionState.FAILED)
+
+    def _process_cancellations(self) -> None:
+        with self._lock:
+            requested = [s for s in self._sessions.values()
+                         if s.cancel_requested
+                         and s.state in SessionState.ACTIVE]
+            for s in requested:
+                if s.session_id in self._queued:
+                    self._queued.remove(s.session_id)
+        for s in requested:
+            self._abandon_tickets(s)
+            s.driver.close()
+            self._finish(s, SessionState.CANCELLED)
+
+    def _interrupt_active(self) -> None:
+        """Drain epilogue: every non-terminal session becomes
+        INTERRUPTED with its journal closed and durable — the input to
+        :meth:`recover`."""
+        with self._lock:
+            active = [s for s in self._sessions.values()
+                      if s.state in SessionState.ACTIVE]
+            self._queued.clear()
+        for s in active:
+            self._abandon_tickets(s)
+            s.driver.close()
+            self._finish(s, SessionState.INTERRUPTED)
+
+    # ------------------------------------------------------------------
+    # drain / signals / recovery
+    # ------------------------------------------------------------------
+    def request_drain(self) -> None:
+        """Stop submitting new evaluations; in-flight ones land (and
+        journal) normally, then unfinished sessions are INTERRUPTED.
+        Safe from any thread and from a signal handler."""
+        with self._lock:
+            self._draining = True
+
+    def install_signal_handlers(self) -> dict:
+        """Wire SIGTERM/SIGINT to :meth:`request_drain` (main thread
+        only — a no-op elsewhere).  Returns the replaced handlers."""
+        def _handler(signum, frame):
+            self.request_drain()
+        replaced = {}
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                replaced[sig] = signal.signal(sig, _handler)
+            except ValueError:          # not the main thread
+                break
+        self._prev_handlers = replaced
+        return replaced
+
+    def restore_signal_handlers(self) -> None:
+        for sig, handler in self._prev_handlers.items():
+            signal.signal(sig, handler)
+        self._prev_handlers = {}
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Drain (or hard-stop) a background-driven service and join
+        its drive thread."""
+        if drain:
+            self.request_drain()
+        self.join(timeout)
+
+    # -- manifests ------------------------------------------------------
+    def _manifest_path(self, session_id: str) -> Optional[Path]:
+        if self.journal_dir is None:
+            return None
+        return self.journal_dir / f"{session_id}.manifest.json"
+
+    def _write_manifest(self, session: _Session) -> None:
+        path = self._manifest_path(session.session_id)
+        if path is None:
+            return
+        spec = session.spec
+        manifest = {
+            "session_id": session.session_id,
+            "tenant": spec.tenant,
+            "name": spec.name,
+            "scheme": spec.scheme,
+            "num_candidates": spec.num_candidates,
+            "seed": spec.seed,
+            "state": session.state,
+            "completed": session.driver.completed,
+            "journal": f"{session.session_id}.jsonl",
+            "error": session.error,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2))
+        tmp.replace(path)
+
+    def recoverable_sessions(self) -> dict[str, dict]:
+        """Manifests of sessions a previous (or drained) service left
+        unfinished — INTERRUPTED by a drain, or RUNNING/QUEUED in a
+        crash where the drain never got to run.  Keyed by session id."""
+        if self.journal_dir is None:
+            return {}
+        out: dict[str, dict] = {}
+        for path in sorted(self.journal_dir.glob("*.manifest.json")):
+            try:
+                manifest = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if manifest.get("state") in (SessionState.INTERRUPTED,
+                                         SessionState.RUNNING,
+                                         SessionState.QUEUED):
+                out[manifest["session_id"]] = manifest
+        return out
+
+    def recover(self, specs: dict[str, SessionSpec]) -> list[SessionHandle]:
+        """Resume every recoverable session for which the caller
+        supplied a fresh :class:`SessionSpec` (live problem/strategy
+        objects cannot live in a manifest).  Each session replays its
+        journal — already-completed records restored bit-identically,
+        the strategy state rebuilt via ``Strategy.restore`` — and
+        continues from its last durable candidate under its original
+        session id (so its checkpoint namespace still matches).
+
+        Specs must agree with the manifest on scheme / num_candidates /
+        seed; a mismatch raises rather than silently diverging.
+
+        Recovery opens a new serving epoch: a drain flag left over from
+        the previous shutdown is cleared."""
+        with self._lock:
+            self._draining = False
+        handles = []
+        for sid, manifest in self.recoverable_sessions().items():
+            spec = specs.get(sid)
+            if spec is None:
+                continue
+            for field_name in ("scheme", "num_candidates", "seed"):
+                want = manifest.get(field_name)
+                got = getattr(spec, field_name)
+                if want is not None and want != got:
+                    raise ValueError(
+                        f"recover({sid!r}): spec.{field_name}={got!r} "
+                        f"does not match manifest {want!r}")
+            journal = self.journal_dir / manifest["journal"]
+            handles.append(self.submit(
+                spec, session_id=sid,
+                resume=journal if journal.exists() else None,
+                _force=True))
+        return handles
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -219,3 +219,140 @@ def test_multilevel_store_propagates_meta_and_sizes(tmp_path):
         assert ml.nbytes("k") == ml.pfs.nbytes("k")
         assert ml.load_meta("k") == {"score": 0.9}
         assert ml.writer.pending_keys() == set()
+
+
+# ---------------------------------------------------------------------------
+# atomic saves + payload CRC
+# ---------------------------------------------------------------------------
+
+def test_save_leaves_no_temp_files(tmp_path):
+    store = CheckpointStore(tmp_path)
+    for i in range(5):
+        store.save(f"m_{i:06d}", weights(i))
+    leftovers = list(tmp_path.glob("*.tmp"))
+    assert leftovers == []
+
+
+def test_interrupted_save_never_tears_existing_checkpoint(tmp_path,
+                                                          monkeypatch):
+    """A crash mid-save (simulated: os.replace raises) must leave the
+    previously saved checkpoint fully intact — readers see old-or-new,
+    never a torn npz at the canonical name."""
+    import os as _os
+
+    store = CheckpointStore(tmp_path)
+    w_old = weights(0)
+    store.save("m_000001", w_old)
+
+    real_replace = _os.replace
+
+    def dying_replace(src, dst):
+        raise OSError("crash before rename")
+
+    monkeypatch.setattr("repro.checkpoint.store.os.replace", dying_replace)
+    with pytest.raises(OSError, match="crash before rename"):
+        store.save("m_000001", weights(1))
+    monkeypatch.setattr("repro.checkpoint.store.os.replace", real_replace)
+    # the old checkpoint still loads, bit-perfect, CRC included
+    loaded = store.load("m_000001")
+    assert all(np.array_equal(loaded[k], w_old[k]) for k in w_old)
+
+
+def test_crc_mismatch_raises_corrupt_checkpoint(tmp_path):
+    from repro.checkpoint import CorruptCheckpointError
+
+    store = CheckpointStore(tmp_path)
+    store.save("m_000001", weights())
+    path = store.path("m_000001")
+    # appended bytes keep the archive readable as a zip (the central
+    # directory is found by scanning from the end) but change its hash
+    path.write_bytes(path.read_bytes() + b"\x00" * 16)
+    with pytest.raises(CorruptCheckpointError, match="CRC32"):
+        store.load("m_000001")
+
+
+def test_sidecar_without_crc_still_loads(tmp_path):
+    """Backward compatibility: checkpoints saved before CRC sidecars
+    existed (no __crc32__ key) load unchecked instead of erroring."""
+    store = CheckpointStore(tmp_path)
+    w = weights()
+    store.save("m_000001", w)
+    sidecar_path = store.meta_path("m_000001")
+    sidecar = json.loads(sidecar_path.read_text())
+    del sidecar["__crc32__"]
+    sidecar_path.write_text(json.dumps(sidecar))
+    loaded = store.load("m_000001")
+    assert all(np.array_equal(loaded[k], w[k]) for k in w)
+
+
+def test_crc_roundtrips_for_compressed_stores(tmp_path):
+    store = CheckpointStore(tmp_path, compress=True)
+    w = weights()
+    store.save("m_000001", w)
+    loaded = store.load("m_000001")
+    assert all(np.array_equal(loaded[k], w[k]) for k in w)
+
+
+# ---------------------------------------------------------------------------
+# idempotent close (service shutdown races session teardown)
+# ---------------------------------------------------------------------------
+
+def test_async_writer_double_close_is_noop(tmp_path):
+    store = CheckpointStore(tmp_path)
+    writer = AsyncCheckpointWriter(store)
+    writer.save("k", weights())
+    writer.close()
+    writer.close()                           # second close: no-op
+    assert store.exists("k")
+    with pytest.raises(RuntimeError):
+        writer.save("k2", weights())
+
+
+def test_async_writer_concurrent_close_from_two_threads(tmp_path):
+    store = CheckpointStore(tmp_path)
+    writer = AsyncCheckpointWriter(store)
+    for i in range(8):
+        writer.save(f"k{i}", weights(i))
+    errors = []
+
+    def closer():
+        try:
+            writer.close()
+        except Exception as exc:             # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=closer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    # every closer returned only after the worker fully drained
+    assert len(store.keys()) == 8
+    assert not writer._worker.is_alive()
+
+
+def test_prefetcher_double_close_is_noop(tmp_path):
+    from repro.checkpoint import ProviderPrefetcher, WeightCache
+
+    store = CheckpointStore(tmp_path)
+    store.save("k", weights())
+    pf = ProviderPrefetcher(store, WeightCache())
+    pf.request(["k"])
+    pf.close()
+    pf.close()                               # second close: no-op
+    assert not pf._worker.is_alive()
+    pf.request(["k"])                        # post-close requests ignored
+
+
+def test_prefetcher_concurrent_close_from_two_threads(tmp_path):
+    from repro.checkpoint import ProviderPrefetcher, WeightCache
+
+    store = CheckpointStore(tmp_path)
+    pf = ProviderPrefetcher(store, WeightCache())
+    threads = [threading.Thread(target=pf.close) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not pf._worker.is_alive()

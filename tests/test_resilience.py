@@ -459,3 +459,69 @@ def test_fault_stats_roundtrip_trace_jsonl(space, problem, tmp_path):
     assert loaded.fault_stats == trace.fault_stats
     assert [r.attempts for r in loaded] == [r.attempts for r in trace]
     assert [r.error for r in loaded] == [r.error for r in trace]
+
+
+# ---------------------------------------------------------------------------
+# concurrent-session journal recovery (service drain/kill mid-run)
+# ---------------------------------------------------------------------------
+
+def test_concurrent_sessions_recover_bit_identically(space, problem,
+                                                     tmp_path):
+    """Kill a service mid-run with several active sessions, recover,
+    and check every session's replayed records are bit-identical to the
+    records it had already journaled — then every session completes."""
+    from repro.checkpoint import ShardedCheckpointStore
+    from repro.service import SearchService, SessionSpec, SessionState
+
+    def spec(seed, **kw):
+        return SessionSpec(
+            problem=problem,
+            strategy=RegularizedEvolution(space, rng=seed,
+                                          population_size=4,
+                                          sample_size=2),
+            num_candidates=6, tenant=f"tenant{seed % 2}", seed=seed,
+            scheme="lcs", **kw)
+
+    def record_key(r):
+        return (r.candidate_id, r.arch_seq, r.score, r.provider_id, r.ok)
+
+    store = ShardedCheckpointStore(tmp_path / "store", num_shards=2)
+    svc = SearchService(evaluator=SerialEvaluator(), store=store,
+                        journal_dir=tmp_path / "j")
+    landed = [0]
+
+    def drain_after_eight(record):
+        landed[0] += 1
+        if landed[0] == 8:          # "kill" arrives mid-run, all active
+            svc.request_drain()
+
+    handles = [svc.submit(spec(seed, on_record=drain_after_eight))
+               for seed in range(3)]
+    svc.drive()
+    interrupted = {h.session_id: h for h in handles
+                   if h.poll().state == SessionState.INTERRUPTED}
+    assert interrupted                       # the drain caught some mid-run
+    journaled = {}
+    for sid in interrupted:
+        _, records = TraceJournal.replay(tmp_path / "j" / f"{sid}.jsonl")
+        journaled[sid] = [record_key(r) for r in records]
+
+    revived = SearchService(evaluator=SerialEvaluator(), store=store,
+                            journal_dir=tmp_path / "j")
+    recovered = revived.recover(
+        {h.session_id: spec(seed)
+         for seed, h in enumerate(handles)
+         if h.session_id in interrupted})
+    assert {h.session_id for h in recovered} == set(interrupted)
+    revived.drive()
+    for handle in recovered:
+        sid = handle.session_id
+        assert handle.poll().state == SessionState.DONE
+        trace = handle.result()
+        assert len(trace) == 6
+        prefix = [record_key(r) for r in trace.records[:len(journaled[sid])]]
+        assert prefix == journaled[sid]      # replay is bit-identical
+        if journaled[sid]:                   # a never-started session
+            assert trace.fault_stats["resumed_records"] == \
+                len(journaled[sid])          # resumes with no fault entry
+    assert revived.recoverable_sessions() == {}

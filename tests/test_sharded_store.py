@@ -1,0 +1,254 @@
+"""Sharded checkpoint store: consistent hashing, breakers, reroute."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    CorruptCheckpointError,
+    ShardBreaker,
+    ShardedCheckpointStore,
+    StoreUnavailableError,
+)
+from repro.cluster import SerialEvaluator, run_search
+from repro.nas import RegularizedEvolution
+
+
+def _weights(i=0):
+    return {"w": np.full((4,), float(i), dtype=np.float32),
+            "b": np.zeros((2,), dtype=np.float32)}
+
+
+class _BoomShard:
+    """Stand-in for a shard whose disk went away: every save raises."""
+
+    def __init__(self, exc=OSError("disk full")):
+        self.exc = exc
+
+    def save(self, *a, **k):
+        raise self.exc
+
+    def exists(self, key):
+        return False
+
+    def delete(self, key):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# breaker state machine
+# ---------------------------------------------------------------------------
+
+def test_breaker_trips_after_consecutive_failures():
+    b = ShardBreaker(failure_threshold=3, cooldown=10.0, clock=lambda: 0.0)
+    assert b.allows_write()
+    b.record_failure()
+    b.record_failure()
+    assert b.state == "closed" and b.allows_write()
+    b.record_failure()
+    assert b.state == "open" and not b.allows_write()
+    assert b.trips == 1 and b.failures == 3
+
+
+def test_breaker_success_resets_consecutive_count():
+    b = ShardBreaker(failure_threshold=2)
+    b.record_failure()
+    b.record_success()
+    b.record_failure()
+    assert b.state == "closed"      # never 2 consecutive
+
+
+def test_breaker_half_open_probe_and_reopen():
+    t = [0.0]
+    b = ShardBreaker(failure_threshold=1, cooldown=5.0, clock=lambda: t[0])
+    b.record_failure()
+    assert b.state == "open" and not b.allows_write()
+    t[0] = 5.0
+    assert b.allows_write() and b.state == "half_open"
+    b.record_failure()              # probe failed: straight back to open
+    assert b.state == "open" and b.trips == 2
+    t[0] = 10.0
+    assert b.allows_write()
+    b.record_success()
+    assert b.state == "closed" and b.allows_write()
+
+
+def test_breaker_rejects_zero_threshold():
+    with pytest.raises(ValueError):
+        ShardBreaker(failure_threshold=0)
+
+
+# ---------------------------------------------------------------------------
+# consistent hashing + store API parity
+# ---------------------------------------------------------------------------
+
+def test_keys_spread_across_shards_and_placement_is_stable(tmp_path):
+    store = ShardedCheckpointStore(tmp_path, num_shards=4)
+    keys = [f"cand_{i:06d}" for i in range(32)]
+    for i, key in enumerate(keys):
+        store.save(key, _weights(i))
+    assert all(len(shard) > 0 for shard in store.shards)
+    assert sorted(store.keys()) == sorted(keys)
+    assert len(store) == 32
+    # placement is pure key hashing: a fresh instance over the same
+    # root locates every key without any in-memory index
+    again = ShardedCheckpointStore(tmp_path, num_shards=4)
+    for i, key in enumerate(keys):
+        assert again.shard_index(key) == store.shard_index(key)
+        assert again.load(key)["w"][0] == float(i)
+
+
+def test_store_api_parity_with_plain_store(tmp_path):
+    store = ShardedCheckpointStore(tmp_path, num_shards=3)
+    info = store.save("cand_000000", _weights(1), meta={"score": 0.5})
+    assert info.nbytes == store.nbytes("cand_000000") > 0
+    assert store.exists("cand_000000")
+    assert store.load_meta("cand_000000") == {"score": 0.5}
+    assert store.path("cand_000000").exists()
+    assert store.total_bytes() == sum(store.sizes().values())
+    store.delete("cand_000000")
+    assert not store.exists("cand_000000")
+    with pytest.raises(FileNotFoundError):
+        store.load("cand_000000")
+    with pytest.raises(FileNotFoundError):
+        store.nbytes("cand_000000")
+
+
+def test_quarantine_lands_in_owning_shard(tmp_path):
+    store = ShardedCheckpointStore(tmp_path, num_shards=2)
+    store.save("cand_000007", _weights())
+    owner = store.shards[store.shard_index("cand_000007")]
+    store.path("cand_000007").write_bytes(b"garbage")
+    with pytest.raises(CorruptCheckpointError):
+        store.load("cand_000007")
+    store.quarantine("cand_000007")
+    assert not store.exists("cand_000007")
+    assert store.quarantined_keys() == ["cand_000007"]
+    assert owner.quarantined_keys() == ["cand_000007"]
+
+
+def test_crc_verification_applies_through_shards(tmp_path):
+    store = ShardedCheckpointStore(tmp_path, num_shards=2)
+    store.save("cand_000001", _weights(3))
+    path = store.path("cand_000001")
+    # append bytes: still a readable zip, but not the bytes that were
+    # hashed at save time — only the CRC catches this
+    path.write_bytes(path.read_bytes() + b"\x00" * 8)
+    with pytest.raises(CorruptCheckpointError, match="CRC32"):
+        store.load("cand_000001")
+
+
+# ---------------------------------------------------------------------------
+# breaker-driven write rerouting
+# ---------------------------------------------------------------------------
+
+def test_failing_shard_reroutes_writes_and_books_degradation(tmp_path):
+    store = ShardedCheckpointStore(tmp_path, num_shards=3,
+                                   failure_threshold=2, cooldown=100.0)
+    victim = store.shard_index("cand_000042")
+    store.shards[victim] = _BoomShard()
+    store.save("cand_000042", _weights(1))      # failure 1 -> rerouted
+    # drive a second failure through the victim to trip its breaker
+    key2 = next(f"k{i}" for i in range(100)
+                if store.shard_index(f"k{i}") == victim)
+    store.save(key2, _weights(3))
+    stats = store.breaker_stats()
+    assert stats["failed_writes"] == 2
+    assert stats["rerouted_writes"] >= 2
+    assert stats["trips"] == 1
+    assert victim in stats["open_shards"]
+    # both checkpoints are readable from their fallback shards
+    assert store.load("cand_000042")["w"][0] == 1.0
+    assert store.load(key2)["w"][0] == 3.0
+    # the open breaker takes the shard out of rotation: no new failures
+    key3 = next(f"m{i}" for i in range(100)
+                if store.shard_index(f"m{i}") == victim)
+    store.save(key3, _weights(4))
+    assert store.breaker_stats()["failed_writes"] == 2
+
+
+def test_reroute_deletes_stale_copy_on_old_shard(tmp_path):
+    store = ShardedCheckpointStore(tmp_path, num_shards=2,
+                                   failure_threshold=1, cooldown=100.0)
+    store.save("cand_000005", _weights(1))
+    home = store.shard_index("cand_000005")
+    real = store.shards[home]
+    # only writes fail: the shard's existing content stays readable
+    real.save = _BoomShard().save
+    store.save("cand_000005", _weights(9))      # rerouted overwrite
+    del real.save
+    # the old copy is gone: every read sees the rerouted version
+    assert not real.exists("cand_000005")
+    assert store.load("cand_000005")["w"][0] == 9.0
+
+
+def test_all_shards_down_raises_store_unavailable(tmp_path):
+    store = ShardedCheckpointStore(tmp_path, num_shards=2,
+                                   failure_threshold=1)
+    store.shards = [_BoomShard(), _BoomShard()]
+    with pytest.raises(StoreUnavailableError):
+        store.save("cand_000000", _weights())
+
+
+def test_half_open_probe_restores_shard_after_cooldown(tmp_path):
+    t = [0.0]
+    store = ShardedCheckpointStore(tmp_path, num_shards=2,
+                                   failure_threshold=1, cooldown=5.0,
+                                   clock=lambda: t[0])
+    victim = store.shard_index("kk")
+    real = store.shards[victim]
+    store.shards[victim] = _BoomShard()
+    store.save("kk", _weights())
+    assert store.breakers[victim].state == "open"
+    store.shards[victim] = real                 # the "disk" comes back
+    t[0] = 6.0
+    key = next(f"p{i}" for i in range(100)
+               if store.shard_index(f"p{i}") == victim)
+    store.save(key, _weights())                 # the half-open probe
+    assert store.breakers[victim].state == "closed"
+    assert real.exists(key)
+
+
+def test_reset_breakers_is_an_operator_override(tmp_path):
+    store = ShardedCheckpointStore(tmp_path, num_shards=2,
+                                   failure_threshold=1, cooldown=1e9)
+    victim = store.shard_index("k")
+    store.shards[victim] = _BoomShard()
+    store.save("k", _weights())
+    assert store.breaker_stats()["open_shards"]
+    store.reset_breakers()
+    assert store.breaker_stats()["open_shards"] == []
+
+
+# ---------------------------------------------------------------------------
+# integration: the scheduler over a sharded, degrading store
+# ---------------------------------------------------------------------------
+
+def test_search_completes_over_sharded_store(space, problem, tmp_path):
+    store = ShardedCheckpointStore(tmp_path, num_shards=3)
+    strategy = RegularizedEvolution(space, rng=0, population_size=4,
+                                    sample_size=2)
+    trace = run_search(problem, strategy, 8, scheme="lcs", store=store,
+                       evaluator=SerialEvaluator(), seed=0)
+    assert len(trace) == 8
+    assert all(r.ok for r in trace)
+    assert any(r.provider_id is not None for r in trace.records)
+    # a healthy sharded store is invisible in the fault accounting
+    assert trace.fault_stats is None
+
+
+def test_search_survives_shard_failure_and_books_it(space, problem,
+                                                    tmp_path):
+    store = ShardedCheckpointStore(tmp_path, num_shards=3,
+                                   failure_threshold=1, cooldown=1e9)
+    # wreck one shard before the search starts
+    store.shards[1] = _BoomShard()
+    strategy = RegularizedEvolution(space, rng=0, population_size=4,
+                                    sample_size=2)
+    trace = run_search(problem, strategy, 8, scheme="lcs", store=store,
+                       evaluator=SerialEvaluator(), seed=0)
+    assert len(trace) == 8
+    assert all(r.ok for r in trace)
+    # the degradation is visible, not fatal
+    degraded = trace.fault_stats["store"]
+    assert degraded["rerouted_writes"] > 0 or degraded["trips"] > 0
+    assert 1 in degraded["open_shards"]
